@@ -1,0 +1,352 @@
+// Package adca (Adaptive Distributed Channel Allocation) is the public
+// face of this reproduction of Kahol, Khurana, Gupta & Srimani,
+// "Adaptive Distributed Dynamic Channel Allocation for Wireless
+// Networks" (ICPP Workshop on Wireless Networks and Mobile Computing,
+// 1998; CSU TR CS-98-105).
+//
+// A Network is a simulated cellular system: a hexagonal grid of cells,
+// each run by a mobile service station executing a distributed channel
+// allocation scheme over a message transport with latency T. Five
+// schemes are available: the paper's adaptive hybrid ("adaptive") and
+// the comparison baselines ("fixed", "basic-search", "basic-update",
+// "advanced-update").
+//
+// Quick start:
+//
+//	net, _ := adca.New(adca.Scenario{Scheme: "adaptive", Channels: 70})
+//	id := net.Request(3, func(r adca.Result) { fmt.Println(r.Granted, r.Channel) })
+//	net.RunUntilIdle()
+//	_ = id
+//
+// Everything is deterministic given Scenario.Seed.
+package adca
+
+import (
+	"fmt"
+
+	"repro/internal/chanset"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/hexgrid"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// Scenario configures a Network. The zero value of each field selects a
+// sensible default (a wrapped 7x7 reuse-2 grid, 70 channels, T = 10
+// ticks, the adaptive scheme).
+type Scenario struct {
+	// Scheme selects the allocation algorithm; see Schemes().
+	Scheme string
+	// GridWidth and GridHeight size the hexagonal cell array.
+	GridWidth, GridHeight int
+	// ReuseDistance is the co-channel interference radius in cells.
+	ReuseDistance int
+	// Wrap connects the grid toroidally, removing boundary effects.
+	Wrap bool
+	// Channels is the number of radio channels in the spectrum.
+	Channels int
+	// LatencyTicks is the one-way control-message delay T.
+	LatencyTicks int64
+	// JitterTicks adds uniform extra delay in [0, Jitter] per message.
+	JitterTicks int64
+	// Seed drives all randomness.
+	Seed uint64
+	// CheckInterference enables the Theorem-1 invariant checker on
+	// every grant (panics on violation).
+	CheckInterference bool
+	// Adaptive overrides the adaptive scheme's tuning (nil: defaults).
+	Adaptive *AdaptiveParams
+	// MaxRounds caps the retries of the update-based baselines.
+	MaxRounds int
+}
+
+// AdaptiveParams are the paper's tuning knobs (θ_l, θ_h, α, W).
+type AdaptiveParams struct {
+	ThetaLow, ThetaHigh float64
+	Alpha               int
+	WindowTicks         int64
+}
+
+// Result reports one completed channel request.
+type Result struct {
+	// Cell is where the request was made.
+	Cell int
+	// Granted tells whether a channel was allocated.
+	Granted bool
+	// Channel is the allocated channel id (-1 when denied).
+	Channel int
+	// QueueTicks is time spent waiting behind other requests at the
+	// station; AcquireTicks is protocol time to acquire.
+	QueueTicks, AcquireTicks int64
+}
+
+// Schemes lists the available scheme names.
+func Schemes() []string { return registry.Names() }
+
+// Network is a running simulated cellular network.
+type Network struct {
+	sim    *driver.Sim
+	scheme string
+}
+
+// New builds a Network from the scenario.
+func New(sc Scenario) (*Network, error) {
+	if sc.Scheme == "" {
+		sc.Scheme = "adaptive"
+	}
+	if sc.GridWidth == 0 {
+		sc.GridWidth = 7
+	}
+	if sc.GridHeight == 0 {
+		sc.GridHeight = sc.GridWidth
+	}
+	if sc.ReuseDistance == 0 {
+		sc.ReuseDistance = 2
+	}
+	if sc.Channels == 0 {
+		sc.Channels = 70
+	}
+	if sc.LatencyTicks == 0 {
+		sc.LatencyTicks = 10
+	}
+	grid, err := hexgrid.New(hexgrid.Config{
+		Shape: hexgrid.Rect,
+		Width: sc.GridWidth, Height: sc.GridHeight,
+		ReuseDistance: sc.ReuseDistance,
+		Wrap:          sc.Wrap,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adca: %w", err)
+	}
+	assign, err := chanset.Assign(grid, sc.Channels)
+	if err != nil {
+		return nil, fmt.Errorf("adca: %w", err)
+	}
+	cfg := registry.Config{Latency: sim.Time(sc.LatencyTicks), MaxRounds: sc.MaxRounds}
+	if sc.Adaptive != nil {
+		cfg.Adaptive = core.Params{
+			ThetaLow:  sc.Adaptive.ThetaLow,
+			ThetaHigh: sc.Adaptive.ThetaHigh,
+			Alpha:     sc.Adaptive.Alpha,
+			Window:    sim.Time(sc.Adaptive.WindowTicks),
+		}
+	}
+	factory, err := registry.Build(sc.Scheme, grid, assign, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("adca: %w", err)
+	}
+	s := driver.New(grid, assign, factory, driver.Options{
+		Latency: sim.Time(sc.LatencyTicks),
+		Jitter:  sim.Time(sc.JitterTicks),
+		Seed:    sc.Seed,
+		Check:   sc.CheckInterference,
+	})
+	return &Network{sim: s, scheme: sc.Scheme}, nil
+}
+
+// MustNew is New but panics on error (for examples and tests).
+func MustNew(sc Scenario) *Network {
+	n, err := New(sc)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Scheme returns the running scheme's name.
+func (n *Network) Scheme() string { return n.scheme }
+
+// NumCells returns the number of cells.
+func (n *Network) NumCells() int { return n.sim.Grid().NumCells() }
+
+// NumChannels returns the spectrum size.
+func (n *Network) NumChannels() int { return n.sim.Assignment().NumChannels }
+
+// Primaries returns the primary channel ids of cell.
+func (n *Network) Primaries(cell int) []int {
+	var out []int
+	n.sim.Assignment().Primary[cell].ForEach(func(c chanset.Channel) bool {
+		out = append(out, int(c))
+		return true
+	})
+	return out
+}
+
+// InterferenceNeighbors returns the cells within the reuse distance of
+// cell.
+func (n *Network) InterferenceNeighbors(cell int) []int {
+	in := n.sim.Grid().Interference(hexgrid.CellID(cell))
+	out := make([]int, len(in))
+	for i, c := range in {
+		out[i] = int(c)
+	}
+	return out
+}
+
+// CenterCell returns an interior cell with a full interference
+// neighborhood (a good hotspot center).
+func (n *Network) CenterCell() int { return int(n.sim.Grid().InteriorCell()) }
+
+// InUse returns the channels cell is currently using.
+func (n *Network) InUse(cell int) []int {
+	var out []int
+	n.sim.Allocator(hexgrid.CellID(cell)).InUse().ForEach(func(c chanset.Channel) bool {
+		out = append(out, int(c))
+		return true
+	})
+	return out
+}
+
+// Mode returns the paper's mode variable of cell (adaptive scheme:
+// 0 local, 1 borrowing, 2 borrowing+update, 3 borrowing+search).
+func (n *Network) Mode(cell int) int { return n.sim.Allocator(hexgrid.CellID(cell)).Mode() }
+
+// Now returns the current virtual time in ticks.
+func (n *Network) Now() int64 { return int64(n.sim.Engine().Now()) }
+
+// Request submits a channel request at cell; cb (may be nil) runs when
+// it completes. Use RunFor/RunUntilIdle to make progress.
+func (n *Network) Request(cell int, cb func(Result)) {
+	n.sim.Request(hexgrid.CellID(cell), func(r driver.Result) {
+		if cb != nil {
+			cb(Result{
+				Cell:         int(r.Cell),
+				Granted:      r.Granted,
+				Channel:      int(r.Ch),
+				QueueTicks:   int64(r.Began - r.Submitted),
+				AcquireTicks: int64(r.Done - r.Began),
+			})
+		}
+	})
+}
+
+// RequestAt schedules a request at an absolute virtual time.
+func (n *Network) RequestAt(at int64, cell int, cb func(Result)) {
+	n.sim.Engine().At(sim.Time(at), func() { n.Request(cell, cb) })
+}
+
+// Release returns a previously granted channel at cell.
+func (n *Network) Release(cell, channel int) {
+	n.sim.Release(hexgrid.CellID(cell), chanset.Channel(channel))
+}
+
+// ReleaseAt schedules a release at an absolute virtual time.
+func (n *Network) ReleaseAt(at int64, cell, channel int) {
+	n.sim.Engine().At(sim.Time(at), func() { n.Release(cell, channel) })
+}
+
+// RunFor advances virtual time by d ticks.
+func (n *Network) RunFor(d int64) { n.sim.Run(n.sim.Engine().Now() + sim.Time(d)) }
+
+// RunUntilIdle processes events until the network quiesces; it reports
+// false if the event budget (1e9 events) was exhausted first.
+func (n *Network) RunUntilIdle() bool { return n.sim.Drain(1_000_000_000) }
+
+// CheckInterference verifies Theorem 1 (no co-channel interference
+// within the reuse distance) across the whole grid right now.
+func (n *Network) CheckInterference() error { return n.sim.CheckInvariant() }
+
+// Stats is a snapshot of network-level statistics.
+type Stats struct {
+	// Grants and Denies count completed requests.
+	Grants, Denies uint64
+	// Messages is the total control messages sent.
+	Messages uint64
+	// MeanAcquireTicks is the mean channel acquisition time of granted
+	// requests.
+	MeanAcquireTicks float64
+	// P95AcquireTicks is its 95th percentile.
+	P95AcquireTicks float64
+	// MessagesPerRequest is Messages / (Grants + Denies).
+	MessagesPerRequest float64
+	// BlockingProbability is Denies / (Grants + Denies).
+	BlockingProbability float64
+	// LocalGrants/UpdateGrants/SearchGrants split grants by
+	// acquisition path (ξ1/ξ2/ξ3 numerators).
+	LocalGrants, UpdateGrants, SearchGrants uint64
+}
+
+// Stats returns the current statistics snapshot.
+func (n *Network) Stats() Stats {
+	st := n.sim.Stats()
+	return Stats{
+		Grants:              st.Grants,
+		Denies:              st.Denies,
+		Messages:            st.Messages.Total,
+		MeanAcquireTicks:    st.AcqDelay.Mean(),
+		P95AcquireTicks:     st.DelayP95,
+		MessagesPerRequest:  st.MessagesPerRequest(),
+		BlockingProbability: st.BlockingProbability(),
+		LocalGrants:         st.Counters.GrantsLocal,
+		UpdateGrants:        st.Counters.GrantsUpdate,
+		SearchGrants:        st.Counters.GrantsSearch,
+	}
+}
+
+// Workload describes Poisson call traffic for RunWorkload.
+type Workload struct {
+	// ErlangPerCell is the offered load per cell (arrival rate times
+	// mean hold).
+	ErlangPerCell float64
+	// HotCell and HotErlang optionally overlay a hot spot; HotRadius
+	// extends it to the cells within that hex distance of HotCell.
+	HotCell   int
+	HotErlang float64
+	HotRadius int
+	// MeanHoldTicks is the mean call duration (default 3000).
+	MeanHoldTicks float64
+	// HandoffRate is the per-call mobility rate (events per tick).
+	HandoffRate float64
+	// DurationTicks bounds arrivals; WarmupTicks excludes the initial
+	// transient from statistics.
+	DurationTicks, WarmupTicks int64
+	// Seed drives the workload randomness.
+	Seed uint64
+}
+
+// WorkloadStats reports a workload run.
+type WorkloadStats struct {
+	Offered, Blocked              uint64
+	HandoffAttempts, HandoffDrops uint64
+	BlockingProbability           float64
+	HandoffDropProbability        float64
+}
+
+// RunWorkload drives Poisson traffic over the network to completion.
+func (n *Network) RunWorkload(w Workload) (WorkloadStats, error) {
+	if w.MeanHoldTicks == 0 {
+		w.MeanHoldTicks = 3000
+	}
+	if w.DurationTicks == 0 {
+		w.DurationTicks = 120_000
+	}
+	var profile traffic.Profile
+	base := w.ErlangPerCell / w.MeanHoldTicks
+	if w.HotErlang > 0 {
+		profile = traffic.NewHotspot(n.sim.Grid(), hexgrid.CellID(w.HotCell), w.HotRadius,
+			base, w.HotErlang/w.MeanHoldTicks)
+	} else {
+		profile = traffic.Uniform{PerCell: base}
+	}
+	ts, err := traffic.Run(n.sim, traffic.Spec{
+		Profile:     profile,
+		MeanHold:    w.MeanHoldTicks,
+		HandoffRate: w.HandoffRate,
+		Duration:    sim.Time(w.DurationTicks),
+		Warmup:      sim.Time(w.WarmupTicks),
+		Seed:        w.Seed,
+	})
+	if err != nil {
+		return WorkloadStats{}, err
+	}
+	return WorkloadStats{
+		Offered:                ts.Offered,
+		Blocked:                ts.Blocked,
+		HandoffAttempts:        ts.HandoffAttempts,
+		HandoffDrops:           ts.HandoffDrops,
+		BlockingProbability:    ts.BlockingProbability(),
+		HandoffDropProbability: ts.HandoffDropProbability(),
+	}, nil
+}

@@ -1,0 +1,166 @@
+package adca_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// The module is named "repro"; the package it exports is adca.
+
+func TestDefaultsAndQuickstart(t *testing.T) {
+	net := adca.MustNew(adca.Scenario{Wrap: true, CheckInterference: true, Seed: 1})
+	if net.Scheme() != "adaptive" {
+		t.Fatalf("default scheme = %q", net.Scheme())
+	}
+	if net.NumCells() != 49 || net.NumChannels() != 70 {
+		t.Fatalf("defaults: %d cells, %d channels", net.NumCells(), net.NumChannels())
+	}
+	var got adca.Result
+	net.Request(3, func(r adca.Result) { got = r })
+	if !net.RunUntilIdle() {
+		t.Fatal("no quiescence")
+	}
+	if !got.Granted || got.AcquireTicks != 0 {
+		t.Fatalf("quickstart grant: %+v", got)
+	}
+	prim := net.Primaries(3)
+	found := false
+	for _, p := range prim {
+		if p == got.Channel {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("granted channel %d not primary of cell 3 (%v)", got.Channel, prim)
+	}
+	st := net.Stats()
+	if st.Grants != 1 || st.Messages != 0 || st.LocalGrants != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	net.Release(3, got.Channel)
+	net.RunUntilIdle()
+	if err := net.CheckInterference(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllSchemesConstructible(t *testing.T) {
+	for _, scheme := range adca.Schemes() {
+		net, err := adca.New(adca.Scenario{Scheme: scheme, Wrap: true, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		done := false
+		net.Request(net.CenterCell(), func(r adca.Result) { done = true })
+		net.RunUntilIdle()
+		if !done {
+			t.Fatalf("%s: request did not complete", scheme)
+		}
+	}
+}
+
+func TestBadScenarios(t *testing.T) {
+	cases := []adca.Scenario{
+		{Scheme: "bogus"},
+		{Channels: 3}, // fewer channels than reuse groups
+		{GridWidth: 3, ReuseDistance: 2, Wrap: true}, // too small to wrap
+		{Adaptive: &adca.AdaptiveParams{ThetaLow: 5, ThetaHigh: 1, Alpha: 1, WindowTicks: 10}},
+	}
+	for i, sc := range cases {
+		if _, err := adca.New(sc); err == nil {
+			t.Errorf("case %d should fail: %+v", i, sc)
+		}
+	}
+}
+
+func TestScheduledRequestsAndIntrospection(t *testing.T) {
+	net := adca.MustNew(adca.Scenario{Wrap: true, Seed: 3, CheckInterference: true})
+	center := net.CenterCell()
+	if len(net.InterferenceNeighbors(center)) != 18 {
+		t.Fatalf("interior neighborhood size = %d", len(net.InterferenceNeighbors(center)))
+	}
+	var ch int
+	net.RequestAt(100, center, func(r adca.Result) { ch = r.Channel })
+	net.RunFor(50)
+	if net.Now() != 50 {
+		t.Fatalf("Now = %d", net.Now())
+	}
+	net.RunFor(100)
+	if len(net.InUse(center)) != 1 {
+		t.Fatalf("in use: %v", net.InUse(center))
+	}
+	net.ReleaseAt(500, center, ch)
+	net.RunUntilIdle()
+	if len(net.InUse(center)) != 0 {
+		t.Fatal("release did not happen")
+	}
+	if net.Mode(center) != 0 {
+		t.Fatalf("mode = %d, want local", net.Mode(center))
+	}
+}
+
+func TestRunWorkloadUniformAndHotspot(t *testing.T) {
+	net := adca.MustNew(adca.Scenario{Wrap: true, Seed: 4, CheckInterference: true})
+	ws, err := net.RunWorkload(adca.Workload{
+		ErlangPerCell: 3,
+		DurationTicks: 50_000,
+		WarmupTicks:   5_000,
+		Seed:          4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Offered == 0 {
+		t.Fatal("no calls offered")
+	}
+	if ws.BlockingProbability > 0.02 {
+		t.Fatalf("3 Erlang over ~10 primaries should rarely block: %v", ws.BlockingProbability)
+	}
+
+	hot := adca.MustNew(adca.Scenario{Scheme: "fixed", Wrap: true, Seed: 5})
+	hs, err := hot.RunWorkload(adca.Workload{
+		ErlangPerCell: 0.5,
+		HotCell:       hot.CenterCell(),
+		HotErlang:     25,
+		DurationTicks: 50_000,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.BlockingProbability == 0 {
+		t.Fatal("a 25-Erlang hotspot over ~10 fixed channels must block")
+	}
+}
+
+func TestHandoffWorkload(t *testing.T) {
+	net := adca.MustNew(adca.Scenario{Wrap: true, Seed: 6})
+	ws, err := net.RunWorkload(adca.Workload{
+		ErlangPerCell: 2,
+		HandoffRate:   0.001,
+		DurationTicks: 40_000,
+		Seed:          6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.HandoffAttempts == 0 {
+		t.Fatal("mobility produced no handoffs")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() adca.Stats {
+		net := adca.MustNew(adca.Scenario{Wrap: true, Seed: 42})
+		if _, err := net.RunWorkload(adca.Workload{
+			ErlangPerCell: 8, DurationTicks: 30_000, Seed: 42,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return net.Stats()
+	}
+	if run() != run() {
+		t.Fatal("same scenario+seed must reproduce exactly")
+	}
+}

@@ -1,0 +1,158 @@
+// Command chantab regenerates every table and figure of the paper's
+// evaluation (the same artifacts the `go test -bench` harness prints)
+// and writes them to stdout or a file. Use -quick for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "small runs (smoke test); full runs otherwise")
+		out   = flag.String("out", "", "write the report to this file instead of stdout")
+		only  = flag.String("only", "", "run a single artifact: table1,table2,table3,f1,f4,f5,f5d,f6,f8,f9,f10,f11,f12,a1")
+		csv   = flag.String("csv", "", "also write the load-sweep data as CSV to this file")
+		svg   = flag.String("svgdir", "", "also write figure SVGs into this directory")
+	)
+	flag.Parse()
+	writeSVG := func(name, content string) {
+		if *svg == "" {
+			return
+		}
+		if err := os.WriteFile(*svg+"/"+name+".svg", []byte(content), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	env := experiments.DefaultEnv()
+	if *quick {
+		env.Duration = 40_000
+		env.Warmup = 8_000
+		env.Seeds = []uint64{7}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	run := func(name string, fn func() (string, error)) {
+		if *only != "" && *only != name {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		art, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "%s\n", art)
+	}
+
+	run("table1", func() (string, error) {
+		r, err := experiments.Table1(env)
+		return r.Render(), err
+	})
+	run("table2", func() (string, error) {
+		r, err := experiments.Table2(env)
+		return r.Render(), err
+	})
+	run("table3", func() (string, error) {
+		r, err := experiments.Table3(env, nil)
+		return r.Render(), err
+	})
+	run("f1", func() (string, error) {
+		r, err := experiments.LoadSweep(env, nil, nil)
+		if err != nil {
+			return "", err
+		}
+		if *csv != "" {
+			if err := os.WriteFile(*csv, []byte(r.RenderCSV()), 0o644); err != nil {
+				return "", err
+			}
+		}
+		for name, content := range r.SVGs() {
+			writeSVG(name, content)
+		}
+		return r.RenderBlocking() + "\n" + r.RenderDelay() + "\n" +
+			r.RenderMessages() + "\n" + r.RenderModeOccupancy() + "\n" + r.RenderTable(), nil
+	})
+	run("f4", func() (string, error) {
+		r, err := experiments.Hotspot(env, nil, nil)
+		if err == nil {
+			writeSVG("f4-hotspot", r.SVG())
+		}
+		return r.Render(), err
+	})
+	run("f5", func() (string, error) {
+		a, err := experiments.AblationAlpha(env, nil)
+		if err != nil {
+			return "", err
+		}
+		th, err := experiments.AblationTheta(env, nil)
+		if err != nil {
+			return "", err
+		}
+		wd, err := experiments.AblationWindow(env, nil)
+		if err != nil {
+			return "", err
+		}
+		return a.Render() + "\n" + th.Render() + "\n" + wd.Render(), nil
+	})
+	run("f6", func() (string, error) {
+		e := env
+		e.Seeds = env.Seeds[:1]
+		r, err := experiments.Scalability(e, nil, nil)
+		return r.Render(), err
+	})
+	run("f8", func() (string, error) {
+		r, err := experiments.Fairness(env, nil, nil)
+		return r.Render(), err
+	})
+	run("f5d", func() (string, error) {
+		r, err := experiments.AblationLender(env)
+		return r.Render(), err
+	})
+	run("f9", func() (string, error) {
+		r, err := experiments.Mobility(env, nil, nil)
+		if err == nil {
+			writeSVG("f9-mobility", r.SVG())
+		}
+		return r.Render(), err
+	})
+	run("f10", func() (string, error) {
+		r, err := experiments.Transient(env, nil)
+		return r.Render(), err
+	})
+	run("f11", func() (string, error) {
+		r, err := experiments.Latency(env, nil, nil)
+		if err == nil {
+			writeSVG("f11-latency", r.SVG())
+		}
+		return r.Render(), err
+	})
+	run("f12", func() (string, error) {
+		r, err := experiments.Repacking(env, nil)
+		if err == nil {
+			writeSVG("f12-repacking", r.SVG())
+		}
+		return r.Render(), err
+	})
+	run("a1", func() (string, error) {
+		r, err := experiments.Breakdown(env, nil)
+		return r.Render(), err
+	})
+}

@@ -1,0 +1,185 @@
+// Package alloc defines the service-provider interface every channel
+// allocation scheme implements, plus small helpers shared by all
+// schemes. Schemes are event-driven: the runtime (the deterministic DES
+// driver or the live goroutine runtime) calls Request / Release / Handle,
+// and the scheme answers through the Env callbacks. A scheme instance is
+// owned by exactly one cell and is never called concurrently.
+package alloc
+
+import (
+	"repro/internal/chanset"
+	"repro/internal/hexgrid"
+	"repro/internal/message"
+	"repro/internal/sim"
+)
+
+// RequestID correlates a channel request with its eventual grant/denial.
+type RequestID int64
+
+// Env is everything a station may ask of its runtime. Implementations
+// guarantee that all callbacks into the same station are serialized.
+type Env interface {
+	// ID is the cell this allocator serves.
+	ID() hexgrid.CellID
+	// Neighbors is the interference neighborhood IN_i (sorted,
+	// excluding the cell itself). The slice must not be modified.
+	Neighbors() []hexgrid.CellID
+	// Now is the current virtual time.
+	Now() sim.Time
+	// Latency is the paper's T: the maximum one-way message delay to a
+	// neighbor in the interference region.
+	Latency() sim.Time
+	// Send transmits m to m.To. Delivery is asynchronous, reliable and
+	// FIFO per (sender, receiver) pair.
+	Send(m message.Message)
+	// Began reports that request id left the station queue and protocol
+	// work started (separates queueing delay from acquisition delay).
+	Began(id RequestID)
+	// Granted reports that request id acquired channel ch.
+	Granted(id RequestID, ch chanset.Channel)
+	// Denied reports that request id failed (the call is dropped).
+	Denied(id RequestID)
+	// Moved reports that the call currently on channel `from` was
+	// switched to channel `to` by the allocator (channel repacking:
+	// an intra-cell handoff). The runtime must redirect the call's
+	// eventual release from `from` to `to`. Only the repacking-enabled
+	// adaptive scheme emits this.
+	Moved(from, to chanset.Channel)
+	// After schedules fn on this station after d ticks.
+	After(d sim.Time, fn func())
+	// Rand is this cell's private random stream.
+	Rand() *sim.Rand
+}
+
+// Allocator is one cell's channel-allocation engine.
+type Allocator interface {
+	// Start binds the allocator to its runtime. Called exactly once,
+	// before any other method.
+	Start(env Env)
+	// Request asks for one channel for request id. The allocator
+	// eventually answers with env.Granted or env.Denied. Concurrent
+	// requests may be queued internally (see Serial).
+	Request(id RequestID)
+	// Release returns channel ch (previously granted) to the system.
+	Release(ch chanset.Channel)
+	// Handle processes a message addressed to this cell.
+	Handle(m message.Message)
+	// InUse returns the channels the cell is currently using. The
+	// result must be an independent snapshot (used by the global
+	// interference checker).
+	InUse() chanset.Set
+	// Mode returns the paper's mode variable (0..3) for adaptive
+	// allocators; fixed-mode schemes return a constant. Used for
+	// mode-occupancy metrics only.
+	Mode() int
+}
+
+// Counters is the per-station protocol accounting every scheme keeps.
+// Experiments use the sums across cells to estimate the paper's ξ1, ξ2,
+// ξ3 (acquisition-path fractions) and m (mean update attempts).
+type Counters struct {
+	// GrantsLocal counts acquisitions satisfied from the cell's own
+	// primary channels with no permission round (the ξ1 path).
+	GrantsLocal uint64
+	// GrantsUpdate counts acquisitions via an update-style permission
+	// round (the ξ2 path).
+	GrantsUpdate uint64
+	// GrantsSearch counts acquisitions via a search round (the ξ3 path).
+	GrantsSearch uint64
+	// Drops counts denied requests.
+	Drops uint64
+	// UpdateAttempts counts update-style permission rounds, successful
+	// or not (m = UpdateAttempts / (GrantsUpdate + GrantsSearch + ...)).
+	UpdateAttempts uint64
+	// ModeChanges counts local<->borrowing transitions (flap metric;
+	// zero for the non-adaptive schemes).
+	ModeChanges uint64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.GrantsLocal += o.GrantsLocal
+	c.GrantsUpdate += o.GrantsUpdate
+	c.GrantsSearch += o.GrantsSearch
+	c.Drops += o.Drops
+	c.UpdateAttempts += o.UpdateAttempts
+	c.ModeChanges += o.ModeChanges
+}
+
+// Grants returns the total successful acquisitions.
+func (c Counters) Grants() uint64 {
+	return c.GrantsLocal + c.GrantsUpdate + c.GrantsSearch
+}
+
+// CounterProvider is implemented by allocators that expose protocol
+// counters (all schemes in this repository do).
+type CounterProvider interface {
+	ProtocolCounters() Counters
+}
+
+// Factory builds one Allocator per cell; it carries the scheme-global
+// configuration (grid, primary assignment, tuning parameters).
+type Factory interface {
+	// Name identifies the scheme in reports ("adaptive", "fixed", ...).
+	Name() string
+	// New creates the allocator for the given cell.
+	New(cell hexgrid.CellID) Allocator
+}
+
+// Serial serializes channel requests at one station: the control channel
+// between mobile hosts and their MSS handles one transaction at a time
+// (DESIGN.md D3). Schemes embed Serial, set the start function once, and
+// call Finish when the in-flight request concludes.
+type Serial struct {
+	start    func(RequestID)
+	queue    []RequestID
+	busy     bool
+	draining bool
+}
+
+// SetStart installs the function that begins protocol work for one
+// request. Must be called before Submit.
+func (s *Serial) SetStart(fn func(RequestID)) { s.start = fn }
+
+// Submit enqueues a request and starts it immediately if the station is
+// idle.
+func (s *Serial) Submit(id RequestID) {
+	s.queue = append(s.queue, id)
+	s.drain()
+}
+
+// Finish marks the in-flight request complete and starts the next queued
+// one, if any. Safe to call from inside start (synchronous completion).
+func (s *Serial) Finish() {
+	s.busy = false
+	s.drain()
+}
+
+// Busy reports whether a request is currently being served.
+func (s *Serial) Busy() bool { return s.busy }
+
+// QueueLen reports the number of requests waiting behind the active one.
+func (s *Serial) QueueLen() int { return len(s.queue) }
+
+func (s *Serial) drain() {
+	if s.draining {
+		return
+	}
+	s.draining = true
+	for !s.busy && len(s.queue) > 0 {
+		id := s.queue[0]
+		s.queue = s.queue[1:]
+		s.busy = true
+		s.start(id)
+	}
+	s.draining = false
+}
+
+// Broadcast sends a copy of m to every cell in targets, stamping To.
+func Broadcast(env Env, m message.Message, targets []hexgrid.CellID) {
+	for _, to := range targets {
+		mm := m
+		mm.To = to
+		env.Send(mm)
+	}
+}

@@ -1,0 +1,119 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/hexgrid"
+	"repro/internal/message"
+)
+
+func TestSerialRunsImmediatelyWhenIdle(t *testing.T) {
+	var s Serial
+	var started []RequestID
+	s.SetStart(func(id RequestID) { started = append(started, id) })
+	s.Submit(1)
+	if len(started) != 1 || started[0] != 1 {
+		t.Fatalf("started = %v", started)
+	}
+	if !s.Busy() {
+		t.Fatal("should be busy until Finish")
+	}
+}
+
+func TestSerialQueuesWhileBusy(t *testing.T) {
+	var s Serial
+	var started []RequestID
+	s.SetStart(func(id RequestID) { started = append(started, id) })
+	s.Submit(1)
+	s.Submit(2)
+	s.Submit(3)
+	if len(started) != 1 {
+		t.Fatalf("started %d requests while busy, want 1", len(started))
+	}
+	if s.QueueLen() != 2 {
+		t.Fatalf("QueueLen = %d, want 2", s.QueueLen())
+	}
+	s.Finish()
+	if len(started) != 2 || started[1] != 2 {
+		t.Fatalf("after Finish: %v", started)
+	}
+	s.Finish()
+	s.Finish()
+	if len(started) != 3 || s.Busy() || s.QueueLen() != 0 {
+		t.Fatalf("drain incomplete: %v busy=%v q=%d", started, s.Busy(), s.QueueLen())
+	}
+}
+
+func TestSerialSynchronousCompletion(t *testing.T) {
+	// start finishes synchronously: all queued requests must run, in
+	// order, without recursion blowing the logic up.
+	var s Serial
+	var started []RequestID
+	s.SetStart(func(id RequestID) {
+		started = append(started, id)
+		s.Finish()
+	})
+	for i := 1; i <= 100; i++ {
+		s.Submit(RequestID(i))
+	}
+	if len(started) != 100 {
+		t.Fatalf("ran %d, want 100", len(started))
+	}
+	for i, id := range started {
+		if id != RequestID(i+1) {
+			t.Fatalf("order broken at %d: %v", i, started[:i+1])
+		}
+	}
+	if s.Busy() {
+		t.Fatal("should be idle")
+	}
+}
+
+func TestSerialMixedCompletion(t *testing.T) {
+	// Alternate synchronous and asynchronous completions.
+	var s Serial
+	var started []RequestID
+	s.SetStart(func(id RequestID) {
+		started = append(started, id)
+		if id%2 == 0 {
+			s.Finish() // even ids complete synchronously
+		}
+	})
+	s.Submit(1)
+	s.Submit(2)
+	s.Submit(3)
+	if len(started) != 1 {
+		t.Fatalf("1 should be in flight: %v", started)
+	}
+	s.Finish() // completes 1 → starts 2 (sync) → starts 3
+	if len(started) != 3 {
+		t.Fatalf("after finishing 1: %v", started)
+	}
+	if !s.Busy() {
+		t.Fatal("3 should be in flight")
+	}
+}
+
+type envStub struct {
+	Env
+	sent []message.Message
+}
+
+func (e *envStub) Send(m message.Message) { e.sent = append(e.sent, m) }
+
+func TestBroadcast(t *testing.T) {
+	env := &envStub{}
+	targets := []hexgrid.CellID{2, 5, 9}
+	Broadcast(env, message.Message{Kind: message.Release, From: 1, Ch: 4}, targets)
+	if len(env.sent) != 3 {
+		t.Fatalf("sent %d messages, want 3", len(env.sent))
+	}
+	for i, m := range env.sent {
+		if m.To != targets[i] {
+			t.Errorf("message %d to %d, want %d", i, m.To, targets[i])
+		}
+		if m.From != 1 || m.Ch != 4 || m.Kind != message.Release {
+			t.Errorf("payload mangled: %+v", m)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package analytic encodes Section 5 of the paper: the closed-form
+// message-complexity and channel-acquisition-time expressions of
+// Tables 1-3 for all four schemes, plus the Erlang-B blocking formula
+// used to sanity-check the fixed baseline against queueing theory.
+//
+// Note on the paper's Table 1: the adaptive row printed in the table
+// ("2ξ1·N_borrow + 3ξ3·mN + 2ξ3(α+2)N") disagrees with the expression
+// derived in the body text ("2ξ1·N_borrow + 3ξ2·mN + ξ3(3α+4)N"); the
+// table appears to typo ξ2 as ξ3 and to mis-collect the search terms.
+// This package implements the body-text derivation. Similarly, Table 3's
+// adaptive maximum acquisition time "(2αN+1)T" is read as "(2α+N+1)T",
+// the value the body-text formula yields with ξ3 = 1 and N_search = N.
+package analytic
+
+import "math"
+
+// Inputs are the workload-dependent parameters of Section 5, estimated
+// from measurements when comparing against simulation.
+type Inputs struct {
+	// N is the number of cells in the interference region.
+	N float64
+	// NBorrow is the average number of borrowing-mode neighbors.
+	NBorrow float64
+	// NSearch is the average number of simultaneous searches in a
+	// neighborhood.
+	NSearch float64
+	// Alpha is the adaptive scheme's α (update attempts before search).
+	Alpha float64
+	// M is the average number of update attempts per borrowing
+	// acquisition (m ≤ α for the adaptive scheme).
+	M float64
+	// Xi1, Xi2, Xi3 are the fractions of acquisitions made locally,
+	// via borrowing update and via borrowing search (ξ1+ξ2+ξ3 = 1).
+	Xi1, Xi2, Xi3 float64
+	// NP is n_p: primary cells of a channel within an interference
+	// region (advanced update scheme).
+	NP float64
+	// T is the one-way message latency (acquisition times are returned
+	// in the same unit).
+	T float64
+}
+
+// AdaptiveMessages is the paper's average message complexity of the
+// proposed scheme: 2ξ1·N_borrow + 3ξ2·mN + ξ3(3α+4)N.
+func (in Inputs) AdaptiveMessages() float64 {
+	return 2*in.Xi1*in.NBorrow + 3*in.Xi2*in.M*in.N + in.Xi3*(3*in.Alpha+4)*in.N
+}
+
+// AdaptiveAcqTime is {2mξ2 + (2α+N_search+1)ξ3}·T.
+func (in Inputs) AdaptiveAcqTime() float64 {
+	return (2*in.M*in.Xi2 + (2*in.Alpha+in.NSearch+1)*in.Xi3) * in.T
+}
+
+// BasicSearchMessages is 2N.
+func (in Inputs) BasicSearchMessages() float64 { return 2 * in.N }
+
+// BasicSearchAcqTime is (N_search+1)·T.
+func (in Inputs) BasicSearchAcqTime() float64 { return (in.NSearch + 1) * in.T }
+
+// BasicUpdateMessages is 2Nm + 2N.
+func (in Inputs) BasicUpdateMessages() float64 { return 2*in.N*in.M + 2*in.N }
+
+// BasicUpdateAcqTime is 2Tm.
+func (in Inputs) BasicUpdateAcqTime() float64 { return 2 * in.T * in.M }
+
+// AdvancedUpdateMessages is (1-ξ1)(2·n_p·m + n_p(m-1)) + 2N.
+func (in Inputs) AdvancedUpdateMessages() float64 {
+	m := in.M
+	extra := 2*in.NP*m + in.NP*(m-1)
+	if m < 1 {
+		extra = 0 // no borrowing rounds at all
+	}
+	return (1-in.Xi1)*extra + 2*in.N
+}
+
+// AdvancedUpdateAcqTime is (1-ξ1)·2Tm.
+func (in Inputs) AdvancedUpdateAcqTime() float64 { return (1 - in.Xi1) * 2 * in.T * in.M }
+
+// Bound is one min/max row of Table 3. Inf encodes the paper's ∞.
+type Bound struct {
+	MinMessages, MaxMessages float64
+	MinAcqTime, MaxAcqTime   float64
+}
+
+// Inf is the unbounded marker of Table 3.
+var Inf = math.Inf(1)
+
+// Table3Bounds returns the paper's Table 3 for the given N, α and T:
+// the extreme message and acquisition costs of each scheme across all
+// loads, keyed by scheme name.
+func Table3Bounds(n, alpha, t float64) map[string]Bound {
+	return map[string]Bound{
+		"basic-search": {
+			MinMessages: 2 * n, MaxMessages: 2 * n,
+			MinAcqTime: 2 * t, MaxAcqTime: (n + 1) * t,
+		},
+		"basic-update": {
+			MinMessages: 2 * n, MaxMessages: Inf,
+			MinAcqTime: 2 * t, MaxAcqTime: Inf,
+		},
+		"advanced-update": {
+			MinMessages: n, MaxMessages: Inf,
+			MinAcqTime: 0, MaxAcqTime: Inf,
+		},
+		"adaptive": {
+			MinMessages: 0, MaxMessages: 3*alpha*n + 4*n,
+			MinAcqTime: 0, MaxAcqTime: (2*alpha + n + 1) * t,
+		},
+	}
+}
+
+// Table2LowLoad returns the paper's Table 2 (ξ1 → 1, m = 0,
+// N_search = 1, N_borrow = 0): message complexity and acquisition time
+// per scheme at uniformly low load.
+func Table2LowLoad(n, t float64) map[string][2]float64 {
+	return map[string][2]float64{
+		"basic-search":    {2 * n, 2 * t},
+		"basic-update":    {4 * n, 2 * t},
+		"advanced-update": {2 * n, 0},
+		"adaptive":        {0, 0},
+	}
+}
+
+// ErlangB is the Erlang-B blocking probability for offered load e
+// (Erlangs) on c channels, computed with the standard recurrence
+// B(0) = 1, B(k) = e·B(k-1) / (k + e·B(k-1)).
+func ErlangB(e float64, c int) float64 {
+	if c < 0 || e < 0 {
+		return 1
+	}
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = e * b / (float64(k) + e*b)
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// lowLoad is the §5 low-load operating point: ξ1 = 1, m = 0,
+// N_search = 1, N_borrow = 0.
+func lowLoad(n, t float64) Inputs {
+	return Inputs{N: n, NBorrow: 0, NSearch: 1, Alpha: 3, M: 0, Xi1: 1, NP: 3, T: t}
+}
+
+func TestGeneralFormulasReduceToTable2(t *testing.T) {
+	// The Table 1 general expressions evaluated at the low-load point
+	// must reproduce every row of Table 2.
+	in := lowLoad(18, 10)
+	// Basic update performs one permission round even when the picked
+	// channel is uncontested, so its per-scheme m is 1 at low load
+	// (that is how Table 2's 4N/2T row arises), while the adaptive and
+	// advanced schemes acquire locally with m = 0.
+	inUpd := in
+	inUpd.M = 1
+	want := Table2LowLoad(18, 10)
+	got := map[string][2]float64{
+		"basic-search":    {in.BasicSearchMessages(), in.BasicSearchAcqTime()},
+		"basic-update":    {inUpd.BasicUpdateMessages(), inUpd.BasicUpdateAcqTime()},
+		"advanced-update": {in.AdvancedUpdateMessages(), in.AdvancedUpdateAcqTime()},
+		"adaptive":        {in.AdaptiveMessages(), in.AdaptiveAcqTime()},
+	}
+	for scheme, w := range want {
+		g := got[scheme]
+		if !almost(g[0], w[0], 1e-9) || !almost(g[1], w[1], 1e-9) {
+			t.Errorf("%s at low load: got (%v msgs, %v time), Table 2 says (%v, %v)",
+				scheme, g[0], g[1], w[0], w[1])
+		}
+	}
+}
+
+func TestAdaptiveCheaperAtLowLoad(t *testing.T) {
+	in := lowLoad(18, 10)
+	if in.AdaptiveMessages() != 0 || in.AdaptiveAcqTime() != 0 {
+		t.Fatal("adaptive must be free at low load (the paper's headline claim)")
+	}
+	if in.BasicSearchMessages() == 0 || in.BasicUpdateMessages() == 0 {
+		t.Fatal("baselines are never free")
+	}
+}
+
+func TestAdaptiveDegradesToSearchUnderSaturation(t *testing.T) {
+	// ξ3 → 1: adaptive time approaches (2α + N_search + 1)T — bounded,
+	// unlike basic update.
+	in := Inputs{N: 18, NSearch: 4, Alpha: 3, M: 3, Xi3: 1, T: 10}
+	want := (2*3 + 4 + 1) * 10.0
+	if got := in.AdaptiveAcqTime(); !almost(got, want, 1e-9) {
+		t.Fatalf("saturated adaptive time = %v, want %v", got, want)
+	}
+	if got := in.AdaptiveMessages(); !almost(got, (3*3+4)*18, 1e-9) {
+		t.Fatalf("saturated adaptive messages = %v", got)
+	}
+}
+
+func TestMonotoneInAttempts(t *testing.T) {
+	base := Inputs{N: 18, NSearch: 2, Alpha: 3, M: 1, Xi2: 1, T: 10, NP: 3}
+	more := base
+	more.M = 2
+	if more.BasicUpdateMessages() <= base.BasicUpdateMessages() {
+		t.Error("update messages must grow with m")
+	}
+	if more.BasicUpdateAcqTime() <= base.BasicUpdateAcqTime() {
+		t.Error("update time must grow with m")
+	}
+	if more.AdaptiveMessages() <= base.AdaptiveMessages() {
+		t.Error("adaptive ξ2 messages must grow with m")
+	}
+}
+
+func TestTable3BoundsShape(t *testing.T) {
+	b := Table3Bounds(18, 3, 10)
+	if len(b) != 4 {
+		t.Fatalf("4 schemes expected, got %d", len(b))
+	}
+	s := b["basic-search"]
+	if s.MinMessages != s.MaxMessages {
+		t.Error("search messages are load-independent")
+	}
+	if !math.IsInf(b["basic-update"].MaxMessages, 1) || !math.IsInf(b["basic-update"].MaxAcqTime, 1) {
+		t.Error("basic update is unbounded")
+	}
+	if !math.IsInf(b["advanced-update"].MaxMessages, 1) {
+		t.Error("advanced update is unbounded")
+	}
+	a := b["adaptive"]
+	if a.MinMessages != 0 || a.MinAcqTime != 0 {
+		t.Error("adaptive minimum is free")
+	}
+	if math.IsInf(a.MaxMessages, 1) || math.IsInf(a.MaxAcqTime, 1) {
+		t.Error("adaptive must be bounded — the paper's point")
+	}
+	if got, want := a.MaxMessages, 3*3*18+4*18.0; !almost(got, want, 1e-9) {
+		t.Errorf("adaptive max messages = %v, want %v", got, want)
+	}
+}
+
+func TestAdvancedUpdateNoBorrowNoExtra(t *testing.T) {
+	in := Inputs{N: 18, NP: 3, M: 0, Xi1: 0.4, T: 10}
+	if got := in.AdvancedUpdateMessages(); !almost(got, 36, 1e-9) {
+		t.Fatalf("m=0 advanced update = %v, want 2N", got)
+	}
+}
+
+func TestErlangBKnownValues(t *testing.T) {
+	// Classic table values.
+	cases := []struct {
+		e    float64
+		c    int
+		want float64
+	}{
+		{1, 1, 0.5},
+		{1, 2, 0.2},
+		{10, 10, 0.2146},
+		{5, 10, 0.0184},
+		{0, 5, 0},
+	}
+	for _, tc := range cases {
+		if got := ErlangB(tc.e, tc.c); !almost(got, tc.want, 3e-4) {
+			t.Errorf("ErlangB(%v, %d) = %v, want %v", tc.e, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestErlangBProperties(t *testing.T) {
+	// Monotone in load, antitone in channels, and within [0, 1].
+	for e := 0.5; e < 30; e += 1.3 {
+		for c := 1; c < 25; c += 3 {
+			b := ErlangB(e, c)
+			if b < 0 || b > 1 {
+				t.Fatalf("B(%v,%d)=%v out of range", e, c, b)
+			}
+			if ErlangB(e+1, c) < b {
+				t.Fatalf("B not monotone in load at (%v,%d)", e, c)
+			}
+			if ErlangB(e, c+1) > b {
+				t.Fatalf("B not antitone in channels at (%v,%d)", e, c)
+			}
+		}
+	}
+	if ErlangB(-1, 5) != 1 || ErlangB(5, -1) != 1 {
+		t.Error("degenerate inputs should fail safe")
+	}
+}

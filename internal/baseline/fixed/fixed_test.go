@@ -1,0 +1,71 @@
+package fixed_test
+
+import (
+	"testing"
+
+	"repro/internal/chanset"
+	"repro/internal/driver"
+	"repro/internal/hexgrid"
+	"repro/internal/schemetest"
+)
+
+func TestConformance(t *testing.T) {
+	schemetest.Conformance(t, "fixed")
+}
+
+func TestZeroMessagesAlways(t *testing.T) {
+	st := schemetest.RandomWorkload(t, "fixed", schemetest.Scenario{
+		Grid: schemetest.DefaultGrid(), Channels: 35, Events: 400,
+		MeanGap: 25, MeanHold: 4000, Seed: 21,
+	})
+	if st.Messages.Total != 0 {
+		t.Fatalf("fixed allocation sent %d messages, want 0", st.Messages.Total)
+	}
+	if st.AcqDelay.Max() != 0 {
+		t.Fatalf("fixed allocation delay max = %v, want 0", st.AcqDelay.Max())
+	}
+}
+
+func TestBlocksAtPrimaryExhaustion(t *testing.T) {
+	s := schemetest.Build(t, "fixed", schemetest.Scenario{
+		Grid: schemetest.DefaultGrid(), Channels: 35, Seed: 22,
+	})
+	cell := s.Grid().InteriorCell()
+	prim := s.Assignment().Primary[cell].Len()
+	grants, denies := 0, 0
+	for i := 0; i < prim+4; i++ {
+		s.Request(cell, func(r driver.Result) {
+			if r.Granted {
+				grants++
+			} else {
+				denies++
+			}
+		})
+	}
+	s.Drain(100000)
+	if grants != prim || denies != 4 {
+		t.Fatalf("grants=%d denies=%d, want %d/%d (no borrowing in fixed)", grants, denies, prim, 4)
+	}
+}
+
+func TestOnlyPrimariesGranted(t *testing.T) {
+	s := schemetest.Build(t, "fixed", schemetest.Scenario{
+		Grid: schemetest.DefaultGrid(), Channels: 35, Seed: 23,
+	})
+	for c := 0; c < s.Grid().NumCells(); c++ {
+		cell := c
+		s.Request(s.Grid().InteriorCell(), nil)
+		_ = cell
+	}
+	s.Drain(1000000)
+	for c := 0; c < s.Grid().NumCells(); c++ {
+		use := s.Allocator(hexgrid.CellID(c)).InUse()
+		pr := s.Assignment().Primary[c]
+		use.ForEach(func(ch chanset.Channel) bool {
+			if !pr.Contains(ch) {
+				t.Fatalf("cell %d uses non-primary %d", c, ch)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,120 @@
+package psearch_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline/psearch"
+	"repro/internal/driver"
+	"repro/internal/hexgrid"
+	"repro/internal/schemetest"
+)
+
+func TestConformance(t *testing.T) {
+	schemetest.Conformance(t, "allocated-search")
+}
+
+func TestFirstAcquisitionSearchesThenRetains(t *testing.T) {
+	s := schemetest.Build(t, "allocated-search", schemetest.Scenario{
+		Grid: schemetest.DefaultGrid(), Channels: 70, Seed: 61, Latency: 10,
+	})
+	cell := s.Grid().InteriorCell()
+	var first driver.Result
+	s.Request(cell, func(r driver.Result) { first = r })
+	s.Drain(1_000_000)
+	if !first.Granted {
+		t.Fatal("first request must be granted")
+	}
+	if first.AcquisitionDelay() < 20 {
+		t.Fatalf("first acquisition should cost a search round trip, took %d", first.AcquisitionDelay())
+	}
+	msgsAfterFirst := s.Stats().Messages.Total
+	// Release and re-request: the channel stays allocated, so the
+	// second acquisition is free — the scheme's retention claim.
+	s.Release(cell, first.Ch)
+	var second driver.Result
+	s.Request(cell, func(r driver.Result) { second = r })
+	s.Drain(1_000_000)
+	if !second.Granted || second.Ch != first.Ch {
+		t.Fatalf("retained channel should be reused: %+v", second)
+	}
+	if second.AcquisitionDelay() != 0 {
+		t.Fatalf("allocated-set hit should be instant, took %d", second.AcquisitionDelay())
+	}
+	if got := s.Stats().Messages.Total; got != msgsAfterFirst {
+		t.Fatalf("allocated-set hit should cost 0 messages, cost %d", got-msgsAfterFirst)
+	}
+}
+
+func TestTransferMovesOwnership(t *testing.T) {
+	// Radius-1 hexagon with reuse distance 2: all 7 cells interfere
+	// pairwise, so the 7 channels can be allocated exactly once each.
+	s := schemetest.Build(t, "allocated-search", schemetest.Scenario{
+		Grid:     hexgrid.Config{Shape: hexgrid.Hexagon, Radius: 1, ReuseDistance: 2},
+		Channels: 7, Seed: 62,
+	})
+	// Every cell claims one channel, then idles: the whole spectrum is
+	// allocated but unused.
+	for c := 0; c < s.Grid().NumCells(); c++ {
+		cell := hexgrid.CellID(c)
+		s.Request(cell, func(r driver.Result) {
+			if r.Granted {
+				s.Release(r.Cell, r.Ch)
+			}
+		})
+		s.Drain(10_000_000)
+	}
+	// A burst of 4 at cell 0 finds its own single allocated channel,
+	// zero unallocated channels, and must transfer the other three.
+	grants := 0
+	for i := 0; i < 4; i++ {
+		s.Request(0, func(r driver.Result) {
+			if r.Granted {
+				grants++
+			}
+		})
+	}
+	s.Drain(50_000_000)
+	if grants != 4 {
+		t.Fatalf("transfers should satisfy the burst: %d of 4 granted", grants)
+	}
+	st := s.Stats()
+	if st.Counters.GrantsUpdate < 3 {
+		t.Fatalf("expected >= 3 transfer-path grants, got %d", st.Counters.GrantsUpdate)
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	alloc := s.Allocator(0).(*psearch.PSearch).Allocated()
+	if alloc.Len() != 4 {
+		t.Fatalf("cell 0 should own 4 channels after transfers, has %v", alloc)
+	}
+}
+
+func TestAllocatedSetsExclusiveWithinRegion(t *testing.T) {
+	s := schemetest.Build(t, "allocated-search", schemetest.Scenario{
+		Grid: schemetest.DefaultGrid(), Channels: 35, Seed: 63,
+	})
+	center := s.Grid().InteriorCell()
+	region := append([]hexgrid.CellID{center}, s.Grid().Interference(center)...)
+	for round := 0; round < 3; round++ {
+		for _, c := range region {
+			s.Request(c, func(r driver.Result) {
+				if r.Granted && round%2 == 0 {
+					s.Release(r.Cell, r.Ch)
+				}
+			})
+		}
+	}
+	s.Drain(100_000_000)
+	// Exclusivity: channel allocated to two interfering cells would be
+	// a latent Theorem-1 violation.
+	for _, a := range region {
+		sa := s.Allocator(a).(*psearch.PSearch).Allocated()
+		for _, b := range s.Grid().Interference(a) {
+			sb := s.Allocator(b).(*psearch.PSearch).Allocated()
+			if sa.Intersects(sb) {
+				t.Fatalf("cells %d and %d both have allocated channels in common", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package update_test
+
+import (
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/message"
+	"repro/internal/schemetest"
+)
+
+func TestConformance(t *testing.T) {
+	schemetest.Conformance(t, "basic-update")
+}
+
+func TestLowLoadCostIsFourN(t *testing.T) {
+	// Table 2: basic update at low load costs 4N per call — 2N for the
+	// permission round (m=1) plus N acquisition + N release broadcasts.
+	s := schemetest.Build(t, "basic-update", schemetest.Scenario{
+		Grid: schemetest.DefaultGrid(), Channels: 70, Seed: 41, Latency: 10,
+	})
+	var res driver.Result
+	s.Request(s.Grid().InteriorCell(), func(r driver.Result) { res = r })
+	s.Drain(1_000_000)
+	if !res.Granted {
+		t.Fatal("low-load request must be granted")
+	}
+	s.Release(res.Cell, res.Ch)
+	s.Drain(1_000_000)
+	st := s.Stats()
+	n := uint64(18)
+	if st.Messages.Total != 4*n {
+		t.Fatalf("messages = %d, want 4N = %d", st.Messages.Total, 4*n)
+	}
+	if d := res.AcquisitionDelay(); d != 20 {
+		t.Fatalf("acquisition delay = %d, want 2T = 20", d)
+	}
+	if st.Messages.ByKind[message.Acquisition] != n || st.Messages.ByKind[message.Release] != n {
+		t.Fatalf("byKind = %v", st.Messages.ByKind)
+	}
+}
+
+func TestSameChannelContentionOlderWins(t *testing.T) {
+	// Under a synchronized burst in one neighborhood, conflicting picks
+	// must resolve with retries, never interference and never wedging.
+	s := schemetest.Build(t, "basic-update", schemetest.Scenario{
+		Grid: schemetest.DefaultGrid(), Channels: 21, Seed: 42,
+	})
+	cell := s.Grid().InteriorCell()
+	neighbors := s.Grid().Interference(cell)
+	done := 0
+	for i := 0; i < 6; i++ {
+		s.Request(cell, func(driver.Result) { done++ })
+		s.Request(neighbors[i], func(driver.Result) { done++ })
+	}
+	s.Drain(20_000_000)
+	if done != 12 {
+		t.Fatalf("completed %d of 12", done)
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Counters.UpdateAttempts < st.Grants {
+		t.Fatalf("attempts %d < grants %d", st.Counters.UpdateAttempts, st.Grants)
+	}
+}
+
+func TestRetriesBoundedByMaxRounds(t *testing.T) {
+	st := schemetest.RandomWorkload(t, "basic-update", schemetest.Scenario{
+		Grid: schemetest.DefaultGrid(), Channels: 14, Events: 400,
+		MeanGap: 15, MeanHold: 8000, Seed: 43,
+	})
+	completions := st.Grants + st.Denies
+	if st.Counters.UpdateAttempts > completions*16 {
+		t.Fatalf("attempts %d exceed MaxRounds bound %d", st.Counters.UpdateAttempts, completions*16)
+	}
+}
+
+func TestWholeSpectrumAvailable(t *testing.T) {
+	s := schemetest.Build(t, "basic-update", schemetest.Scenario{
+		Grid: schemetest.DefaultGrid(), Channels: 70, Seed: 44,
+	})
+	cell := s.Grid().InteriorCell()
+	grants := 0
+	for i := 0; i < 70; i++ {
+		s.Request(cell, func(r driver.Result) {
+			if r.Granted {
+				grants++
+			}
+		})
+	}
+	s.Drain(20_000_000)
+	if grants != 70 {
+		t.Fatalf("hot cell acquired %d of 70", grants)
+	}
+}

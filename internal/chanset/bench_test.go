@@ -1,0 +1,81 @@
+package chanset
+
+import (
+	"testing"
+
+	"repro/internal/hexgrid"
+)
+
+func benchSets() (a, b Set) {
+	a = NewSet(512)
+	b = NewSet(512)
+	for i := 0; i < 512; i += 3 {
+		a.Add(Channel(i))
+	}
+	for i := 0; i < 512; i += 5 {
+		b.Add(Channel(i))
+	}
+	return a, b
+}
+
+func BenchmarkSetUnionWith(bm *testing.B) {
+	a, b := benchSets()
+	bm.ReportAllocs()
+	for i := 0; i < bm.N; i++ {
+		c := a.Clone()
+		c.UnionWith(b)
+	}
+}
+
+func BenchmarkSetSubtractInPlace(bm *testing.B) {
+	a, b := benchSets()
+	scratch := a.Clone()
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		copy(scratch.words, a.words)
+		scratch.SubtractWith(b)
+	}
+}
+
+func BenchmarkSetFirst(bm *testing.B) {
+	s := NewSet(512)
+	s.Add(500)
+	bm.ReportAllocs()
+	for i := 0; i < bm.N; i++ {
+		if s.First() != 500 {
+			bm.Fatal("wrong")
+		}
+	}
+}
+
+func BenchmarkSetIterate(bm *testing.B) {
+	a, _ := benchSets()
+	bm.ReportAllocs()
+	count := 0
+	for i := 0; i < bm.N; i++ {
+		a.ForEach(func(Channel) bool { count++; return true })
+	}
+	_ = count
+}
+
+func BenchmarkSetIntersects(bm *testing.B) {
+	a, b := benchSets()
+	bm.ReportAllocs()
+	for i := 0; i < bm.N; i++ {
+		if !a.Intersects(b) {
+			bm.Fatal("wrong")
+		}
+	}
+}
+
+func BenchmarkAssign(bm *testing.B) {
+	g := hexgrid.MustNew(hexgrid.Config{Shape: hexgrid.Rect, Width: 14, Height: 14, ReuseDistance: 2, Wrap: true})
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		if _, err := Assign(g, 70); err != nil {
+			bm.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package chanset provides compact sets of radio channel identifiers and
+// the static primary-channel assignment (spatial reuse pattern) that
+// seeds every allocation scheme.
+//
+// Channel ids are dense small integers 0..n-1 (the paper's Spectrum =
+// {1..n}, shifted to 0-based). Sets are bitsets over uint64 words: every
+// protocol step unions, subtracts and scans these sets, so the
+// representation matters for simulation throughput.
+package chanset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Channel identifies a radio channel. NoChannel (-1) marks "no channel",
+// used both for failed acquisitions and for the paper's acquire(-1) drop
+// path.
+type Channel int32
+
+// NoChannel is the sentinel for "no channel".
+const NoChannel Channel = -1
+
+// Valid reports whether c is a real channel id (non-negative).
+func (c Channel) Valid() bool { return c >= 0 }
+
+// Set is a bitset of channel ids. The zero value is an empty set with
+// zero capacity; prefer NewSet for sets with a known universe size.
+// Methods with a Set receiver never mutate; methods with a *Set receiver
+// mutate in place.
+type Set struct {
+	words []uint64
+}
+
+// NewSet returns an empty set sized for channels 0..n-1. Adding a
+// channel >= n grows the set automatically.
+func NewSet(n int) Set {
+	return Set{words: make([]uint64, (n+63)/64)}
+}
+
+// FullSet returns the set {0, 1, ..., n-1}.
+func FullSet(n int) Set {
+	s := NewSet(n)
+	for c := 0; c < n; c++ {
+		s.Add(Channel(c))
+	}
+	return s
+}
+
+// SetOf returns a set containing exactly the given channels.
+func SetOf(chs ...Channel) Set {
+	var s Set
+	for _, c := range chs {
+		s.Add(c)
+	}
+	return s
+}
+
+func (s *Set) grow(word int) {
+	for len(s.words) <= word {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts c. Adding NoChannel or any negative id is a no-op.
+func (s *Set) Add(c Channel) {
+	if c < 0 {
+		return
+	}
+	w := int(c) / 64
+	s.grow(w)
+	s.words[w] |= 1 << (uint(c) % 64)
+}
+
+// Remove deletes c; removing an absent channel is a no-op.
+func (s *Set) Remove(c Channel) {
+	if c < 0 {
+		return
+	}
+	w := int(c) / 64
+	if w < len(s.words) {
+		s.words[w] &^= 1 << (uint(c) % 64)
+	}
+}
+
+// Contains reports whether c is in the set.
+func (s Set) Contains(c Channel) bool {
+	if c < 0 {
+		return false
+	}
+	w := int(c) / 64
+	return w < len(s.words) && s.words[w]&(1<<(uint(c)%64)) != 0
+}
+
+// Len returns the number of channels in the set.
+func (s Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no members.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	out := Set{words: make([]uint64, len(s.words))}
+	copy(out.words, s.words)
+	return out
+}
+
+// Clear removes all members, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// UnionWith adds every member of o to s.
+func (s *Set) UnionWith(o Set) {
+	s.grow(len(o.words) - 1)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// SubtractWith removes every member of o from s.
+func (s *Set) SubtractWith(o Set) {
+	for i := 0; i < len(s.words) && i < len(o.words); i++ {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// IntersectWith keeps only members also in o.
+func (s *Set) IntersectWith(o Set) {
+	for i := range s.words {
+		if i < len(o.words) {
+			s.words[i] &= o.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// Union returns s ∪ o without mutating either.
+func Union(s, o Set) Set {
+	out := s.Clone()
+	out.UnionWith(o)
+	return out
+}
+
+// Subtract returns s − o without mutating either.
+func Subtract(s, o Set) Set {
+	out := s.Clone()
+	out.SubtractWith(o)
+	return out
+}
+
+// Intersect returns s ∩ o without mutating either.
+func Intersect(s, o Set) Set {
+	out := s.Clone()
+	out.IntersectWith(o)
+	return out
+}
+
+// Intersects reports whether s and o share at least one channel, without
+// allocating.
+func (s Set) Intersects(o Set) bool {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and o contain the same channels.
+func (s Set) Equal(o Set) bool {
+	long, short := s.words, o.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if long[i] != w {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// First returns the smallest channel in the set, or NoChannel if empty.
+func (s Set) First() Channel {
+	for i, w := range s.words {
+		if w != 0 {
+			return Channel(i*64 + bits.TrailingZeros64(w))
+		}
+	}
+	return NoChannel
+}
+
+// Last returns the largest channel in the set, or NoChannel if empty.
+func (s Set) Last() Channel {
+	for i := len(s.words) - 1; i >= 0; i-- {
+		if w := s.words[i]; w != 0 {
+			return Channel(i*64 + 63 - bits.LeadingZeros64(w))
+		}
+	}
+	return NoChannel
+}
+
+// Nth returns the n-th smallest channel (0-based), or NoChannel if the
+// set has fewer than n+1 members. Used for uniform random picks.
+func (s Set) Nth(n int) Channel {
+	for i, w := range s.words {
+		c := bits.OnesCount64(w)
+		if n >= c {
+			n -= c
+			continue
+		}
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if n == 0 {
+				return Channel(i*64 + tz)
+			}
+			n--
+			w &^= 1 << uint(tz)
+		}
+	}
+	return NoChannel
+}
+
+// ForEach calls fn for every channel in ascending order. If fn returns
+// false the iteration stops.
+func (s Set) ForEach(fn func(Channel) bool) {
+	for i, w := range s.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(Channel(i*64 + tz)) {
+				return
+			}
+			w &^= 1 << uint(tz)
+		}
+	}
+}
+
+// Channels returns the members in ascending order as a fresh slice.
+func (s Set) Channels() []Channel {
+	out := make([]Channel, 0, s.Len())
+	s.ForEach(func(c Channel) bool {
+		out = append(out, c)
+		return true
+	})
+	return out
+}
+
+// String renders the set as "{0,3,17}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(c Channel) bool {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", c)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Words exposes the raw bitset words for encoding; the returned slice
+// aliases internal storage and must be treated as read-only.
+func (s Set) Words() []uint64 { return s.words }
+
+// FromWords builds a Set from raw words (taking ownership of the slice).
+func FromWords(words []uint64) Set { return Set{words: words} }

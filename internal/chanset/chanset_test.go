@@ -1,0 +1,277 @@
+package chanset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddRemoveContains(t *testing.T) {
+	s := NewSet(128)
+	if s.Contains(5) {
+		t.Fatal("fresh set should be empty")
+	}
+	s.Add(5)
+	s.Add(63)
+	s.Add(64)
+	s.Add(127)
+	for _, c := range []Channel{5, 63, 64, 127} {
+		if !s.Contains(c) {
+			t.Errorf("missing %d", c)
+		}
+	}
+	s.Remove(63)
+	if s.Contains(63) {
+		t.Error("63 not removed")
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestNegativeChannelIgnored(t *testing.T) {
+	var s Set
+	s.Add(NoChannel)
+	s.Add(-7)
+	if !s.Empty() {
+		t.Fatal("negative adds must be no-ops")
+	}
+	s.Remove(NoChannel) // must not panic
+	if s.Contains(NoChannel) {
+		t.Fatal("NoChannel can never be contained")
+	}
+}
+
+func TestZeroValueGrows(t *testing.T) {
+	var s Set
+	s.Add(1000)
+	if !s.Contains(1000) || s.Len() != 1 {
+		t.Fatalf("auto-grow failed: len=%d", s.Len())
+	}
+}
+
+func TestRemoveBeyondCapacity(t *testing.T) {
+	s := NewSet(10)
+	s.Remove(500) // must not panic
+	if s.Contains(500) {
+		t.Fatal("contains beyond capacity")
+	}
+}
+
+func TestFullSet(t *testing.T) {
+	s := FullSet(70)
+	if s.Len() != 70 {
+		t.Fatalf("Len = %d, want 70", s.Len())
+	}
+	if !s.Contains(0) || !s.Contains(69) || s.Contains(70) {
+		t.Fatal("FullSet membership wrong at boundaries")
+	}
+}
+
+func TestSetOf(t *testing.T) {
+	s := SetOf(3, 1, 4, 1, 5)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (dup collapsed)", s.Len())
+	}
+	want := []Channel{1, 3, 4, 5}
+	got := s.Channels()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Channels() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := SetOf(1, 2, 3)
+	b := a.Clone()
+	b.Add(9)
+	b.Remove(1)
+	if a.Contains(9) || !a.Contains(1) {
+		t.Fatal("Clone is not independent")
+	}
+}
+
+func TestUnionSubtractIntersect(t *testing.T) {
+	a := SetOf(1, 2, 3, 64)
+	b := SetOf(3, 4, 64, 128)
+	if got := Union(a, b); got.Len() != 6 || !got.Contains(128) || !got.Contains(1) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := Subtract(a, b); !got.Equal(SetOf(1, 2)) {
+		t.Errorf("Subtract = %v", got)
+	}
+	if got := Intersect(a, b); !got.Equal(SetOf(3, 64)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	// originals untouched
+	if a.Len() != 4 || b.Len() != 4 {
+		t.Fatal("non-mutating ops mutated input")
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	s := SetOf(1, 2, 3)
+	s.UnionWith(SetOf(100))
+	if !s.Contains(100) {
+		t.Fatal("UnionWith failed to grow")
+	}
+	s.SubtractWith(SetOf(2, 100))
+	if !s.Equal(SetOf(1, 3)) {
+		t.Fatalf("SubtractWith: %v", s)
+	}
+	s.IntersectWith(SetOf(3, 5))
+	if !s.Equal(SetOf(3)) {
+		t.Fatalf("IntersectWith: %v", s)
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestIntersectWithShorterOperand(t *testing.T) {
+	s := SetOf(1, 200)
+	s.IntersectWith(SetOf(1))
+	if !s.Equal(SetOf(1)) {
+		t.Fatalf("high words must be cleared: %v", s)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	if !SetOf(1, 70).Intersects(SetOf(70)) {
+		t.Error("expected intersection")
+	}
+	if SetOf(1, 2).Intersects(SetOf(3, 300)) {
+		t.Error("unexpected intersection")
+	}
+	if (Set{}).Intersects(SetOf(1)) {
+		t.Error("empty set intersects nothing")
+	}
+}
+
+func TestEqualDifferentCapacities(t *testing.T) {
+	a := NewSet(512)
+	a.Add(3)
+	b := SetOf(3)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("Equal must ignore trailing zero words")
+	}
+	a.Add(400)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("sets differ")
+	}
+}
+
+func TestFirstLast(t *testing.T) {
+	if (Set{}).First() != NoChannel || (Set{}).Last() != NoChannel {
+		t.Fatal("empty set must return NoChannel")
+	}
+	s := SetOf(65, 7, 300)
+	if s.First() != 7 {
+		t.Errorf("First = %d", s.First())
+	}
+	if s.Last() != 300 {
+		t.Errorf("Last = %d", s.Last())
+	}
+}
+
+func TestNth(t *testing.T) {
+	s := SetOf(2, 70, 140, 141)
+	want := []Channel{2, 70, 140, 141}
+	for i, w := range want {
+		if got := s.Nth(i); got != w {
+			t.Errorf("Nth(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if s.Nth(4) != NoChannel || s.Nth(100) != NoChannel {
+		t.Error("out-of-range Nth must return NoChannel")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := SetOf(1, 2, 3, 4)
+	count := 0
+	s.ForEach(func(Channel) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d, want 2", count)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := SetOf(3, 1).String(); got != "{1,3}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Set{}).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	s := SetOf(0, 64, 129)
+	w := s.Words()
+	s2 := FromWords(append([]uint64(nil), w...))
+	if !s.Equal(s2) {
+		t.Fatal("Words/FromWords round trip failed")
+	}
+}
+
+func TestChannelValid(t *testing.T) {
+	if NoChannel.Valid() || Channel(-5).Valid() {
+		t.Error("negative channels are invalid")
+	}
+	if !Channel(0).Valid() {
+		t.Error("channel 0 is valid")
+	}
+}
+
+// Property: Union is commutative, Subtract then Union restores supersets,
+// and Len agrees with Channels().
+func TestSetAlgebraProperties(t *testing.T) {
+	mk := func(bitsPattern []uint16) Set {
+		var s Set
+		for _, b := range bitsPattern {
+			s.Add(Channel(b % 256))
+		}
+		return s
+	}
+	f := func(xs, ys []uint16) bool {
+		a, b := mk(xs), mk(ys)
+		if !Union(a, b).Equal(Union(b, a)) {
+			return false
+		}
+		// (a ∪ b) − b ⊆ a and equals a − b
+		if !Subtract(Union(a, b), b).Equal(Subtract(a, b)) {
+			return false
+		}
+		// De Morgan-ish consistency: |a| = |a∩b| + |a−b|
+		if a.Len() != Intersect(a, b).Len()+Subtract(a, b).Len() {
+			return false
+		}
+		return len(a.Channels()) == a.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNthMatchesChannelsProperty(t *testing.T) {
+	f := func(xs []uint16) bool {
+		var s Set
+		for _, x := range xs {
+			s.Add(Channel(x % 512))
+		}
+		chs := s.Channels()
+		for i, c := range chs {
+			if s.Nth(i) != c {
+				return false
+			}
+		}
+		return s.Nth(len(chs)) == NoChannel
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

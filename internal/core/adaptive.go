@@ -1,0 +1,353 @@
+// Package core implements the paper's contribution: the adaptive
+// distributed dynamic channel-allocation scheme (Kahol, Khurana, Gupta,
+// Srimani 1998, Figures 2-10), re-derived as an event-driven state
+// machine over the alloc SPI.
+//
+// Each station holds the paper's variables: PR_i (static primaries),
+// Use_i, U_j / I_i (neighborhood usage knowledge), NFC_i (free-primary
+// history window), mode_i ∈ {0,1,2,3}, UpdateS_i, DeferQ_i, waiting_i,
+// pending_i and rounds. The blocking "wait UNTIL" points of Figure 2
+// become the phases of an explicit request FSM (see protocol.go).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/chanset"
+	"repro/internal/hexgrid"
+	"repro/internal/lamport"
+	"repro/internal/message"
+	"repro/internal/sim"
+)
+
+// LenderPolicy selects how a borrowing cell picks the neighbor to
+// borrow from. The paper's Best() heuristic (Figure 10) minimizes the
+// number of borrowing neighbors shared with the lender to reduce
+// collision probability; the alternatives exist for the ablation that
+// quantifies that claim.
+type LenderPolicy int
+
+const (
+	// LenderBest is the paper's Figure 10 heuristic (default).
+	LenderBest LenderPolicy = iota
+	// LenderFirst picks the lowest-id eligible lender.
+	LenderFirst
+	// LenderRandom picks a uniformly random eligible lender.
+	LenderRandom
+)
+
+// String implements fmt.Stringer.
+func (p LenderPolicy) String() string {
+	switch p {
+	case LenderBest:
+		return "best"
+	case LenderFirst:
+		return "first"
+	case LenderRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("LenderPolicy(%d)", int(p))
+	}
+}
+
+// Params are the tuning knobs of the adaptive scheme.
+type Params struct {
+	// ThetaLow is θ_l: a station predicted to have fewer than θ_l free
+	// primary channels (a round trip from now) enters borrowing mode.
+	// Must be > 0 so that a station with zero free primaries always
+	// enters borrowing mode.
+	ThetaLow float64
+	// ThetaHigh is θ_h (> θ_l): a borrowing station predicted to have
+	// at least θ_h free primaries returns to local mode.
+	ThetaHigh float64
+	// Alpha is α: the maximum number of borrowing-update attempts
+	// before the station falls back to a borrowing search. Must be >= 0;
+	// 0 means "always search when borrowing".
+	Alpha int
+	// Window is W: how far back the NFC predictor looks. Must be > 0.
+	Window sim.Time
+	// Lender selects the lender-choice heuristic (default: the paper's
+	// Best() of Figure 10).
+	Lender LenderPolicy
+	// Repack enables channel repacking (an extension beyond the paper):
+	// when a primary channel is freed while the cell holds borrowed
+	// channels, one borrowed call is switched onto the freed primary
+	// (intra-cell handoff) and the borrowed channel is returned to the
+	// region instead. Requires a runtime that supports Env.Moved (the
+	// DES driver does).
+	Repack bool
+}
+
+// DefaultParams returns the parameter set used throughout the
+// experiments unless a sweep overrides it: thresholds 1/3 with a window
+// of 50 T-units and α = 3 attempts.
+func DefaultParams(latency sim.Time) Params {
+	return Params{
+		ThetaLow:  1,
+		ThetaHigh: 3,
+		Alpha:     3,
+		Window:    50 * latency,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.ThetaLow <= 0 {
+		return fmt.Errorf("core: ThetaLow must be > 0, got %v", p.ThetaLow)
+	}
+	if p.ThetaHigh <= p.ThetaLow {
+		return fmt.Errorf("core: ThetaHigh (%v) must exceed ThetaLow (%v)", p.ThetaHigh, p.ThetaLow)
+	}
+	if p.Alpha < 0 {
+		return fmt.Errorf("core: Alpha must be >= 0, got %d", p.Alpha)
+	}
+	if p.Window <= 0 {
+		return fmt.Errorf("core: Window must be > 0, got %d", p.Window)
+	}
+	if p.Lender < LenderBest || p.Lender > LenderRandom {
+		return fmt.Errorf("core: unknown lender policy %d", p.Lender)
+	}
+	return nil
+}
+
+// Factory builds adaptive allocators for a given grid and primary plan.
+type Factory struct {
+	grid   *hexgrid.Grid
+	assign *chanset.Assignment
+	params Params
+}
+
+// NewFactory validates params and returns a Factory.
+func NewFactory(grid *hexgrid.Grid, assign *chanset.Assignment, params Params) (*Factory, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Factory{grid: grid, assign: assign, params: params}, nil
+}
+
+// Name implements alloc.Factory.
+func (f *Factory) Name() string { return "adaptive" }
+
+// New implements alloc.Factory.
+func (f *Factory) New(cell hexgrid.CellID) alloc.Allocator {
+	return &Adaptive{
+		factory: f,
+		cell:    cell,
+	}
+}
+
+// Mode values of the paper (the mode_i variable).
+const (
+	ModeLocal        = 0 // local allocation only
+	ModeBorrow       = 1 // borrowing, no request in flight
+	ModeBorrowUpdate = 2 // borrowing, update request pending
+	ModeBorrowSearch = 3 // borrowing, search request pending
+)
+
+// deferred is one entry of DeferQ_i.
+type deferred struct {
+	search bool // true: search request; false: update request
+	ch     chanset.Channel
+	ts     lamport.Stamp
+	from   hexgrid.CellID
+}
+
+// Adaptive is one cell's adaptive allocator.
+type Adaptive struct {
+	factory *Factory
+	cell    hexgrid.CellID
+
+	env       alloc.Env
+	neighbors []hexgrid.CellID
+	spectrum  chanset.Set
+	pr        chanset.Set
+	clock     *lamport.Clock
+
+	// Use_i and per-neighbor knowledge.
+	use   chanset.Set
+	u     map[hexgrid.CellID]chanset.Set // U_j as known to this cell
+	iCnt  []int16                        // per-channel count of neighbors believed to use it
+	inter chanset.Set                    // I_i: bit set iff iCnt > 0
+	// granted[j] holds channels we granted to j that j has not yet
+	// visibly acquired or released. A borrowing-update winner acquires
+	// silently (Figure 3, mode 2), so a Use-set snapshot taken by j
+	// between our grant and its acquisition would otherwise erase the
+	// channel from U_j and let us reuse it concurrently (DESIGN.md D9).
+	granted map[hexgrid.CellID]chanset.Set
+
+	mode    int
+	updateS map[hexgrid.CellID]bool // UpdateS_i
+	deferQ  []deferred
+	waiting int
+	pending bool
+	rounds  int
+
+	nfc nfcWindow
+
+	serial alloc.Serial
+	req    *request // active request FSM, nil when idle
+
+	counters alloc.Counters
+}
+
+// Start implements alloc.Allocator.
+func (a *Adaptive) Start(env alloc.Env) {
+	a.env = env
+	a.neighbors = env.Neighbors()
+	a.spectrum = a.factory.assign.Spectrum
+	a.pr = a.factory.assign.Primary[a.cell]
+	a.clock = lamport.NewClock(int32(a.cell))
+	n := a.factory.assign.NumChannels
+	a.use = chanset.NewSet(n)
+	a.u = make(map[hexgrid.CellID]chanset.Set, len(a.neighbors))
+	for _, j := range a.neighbors {
+		a.u[j] = chanset.NewSet(n)
+	}
+	a.iCnt = make([]int16, n)
+	a.inter = chanset.NewSet(n)
+	a.granted = make(map[hexgrid.CellID]chanset.Set)
+	a.updateS = make(map[hexgrid.CellID]bool)
+	a.nfc.init(env.Now(), a.pr.Len(), a.factory.params.Window)
+	a.serial.SetStart(a.startRequest)
+}
+
+// Request implements alloc.Allocator.
+func (a *Adaptive) Request(id alloc.RequestID) { a.serial.Submit(id) }
+
+// InUse implements alloc.Allocator.
+func (a *Adaptive) InUse() chanset.Set { return a.use.Clone() }
+
+// Mode implements alloc.Allocator.
+func (a *Adaptive) Mode() int { return a.mode }
+
+// ProtocolCounters implements alloc.CounterProvider.
+func (a *Adaptive) ProtocolCounters() alloc.Counters { return a.counters }
+
+// Primary returns PR_i (for tests).
+func (a *Adaptive) Primary() chanset.Set { return a.pr.Clone() }
+
+// Waiting exposes waiting_i (for tests).
+func (a *Adaptive) Waiting() int { return a.waiting }
+
+// free returns PR_i − (Use_i ∪ I_i): the free primary channels in this
+// cell's view.
+func (a *Adaptive) freePrimary() chanset.Set {
+	f := a.pr.Clone()
+	f.SubtractWith(a.use)
+	f.SubtractWith(a.inter)
+	return f
+}
+
+// freeAnywhere returns Spectrum − Use_i − I_i.
+func (a *Adaptive) freeAnywhere() chanset.Set {
+	f := a.spectrum.Clone()
+	f.SubtractWith(a.use)
+	f.SubtractWith(a.inter)
+	return f
+}
+
+// addU records that neighbor j uses channel ch.
+func (a *Adaptive) addU(j hexgrid.CellID, ch chanset.Channel) {
+	if !ch.Valid() {
+		return
+	}
+	uj, ok := a.u[j]
+	if !ok || uj.Contains(ch) {
+		return
+	}
+	uj.Add(ch)
+	a.iCnt[ch]++
+	a.inter.Add(ch)
+}
+
+// removeU records that neighbor j no longer uses channel ch.
+func (a *Adaptive) removeU(j hexgrid.CellID, ch chanset.Channel) {
+	uj, ok := a.u[j]
+	if !ok || !uj.Contains(ch) {
+		return
+	}
+	uj.Remove(ch)
+	a.iCnt[ch]--
+	if a.iCnt[ch] <= 0 {
+		a.iCnt[ch] = 0
+		a.inter.Remove(ch)
+	}
+}
+
+// grantRecord marks ch as granted to j (pending acquisition).
+func (a *Adaptive) grantRecord(j hexgrid.CellID, ch chanset.Channel) {
+	g, ok := a.granted[j]
+	if !ok {
+		g = chanset.NewSet(a.factory.assign.NumChannels)
+		a.granted[j] = g
+	}
+	g.Add(ch)
+	a.granted[j] = g
+}
+
+// grantResolve clears a pending grant record: j either acquired ch
+// visibly (snapshot/ACQUISITION) or released it.
+func (a *Adaptive) grantResolve(j hexgrid.CellID, ch chanset.Channel) {
+	if g, ok := a.granted[j]; ok {
+		g.Remove(ch)
+		a.granted[j] = g
+	}
+}
+
+// replaceU replaces the whole U_j with the received snapshot, preserving
+// channels we granted to j that j has not yet visibly acquired.
+func (a *Adaptive) replaceU(j hexgrid.CellID, snapshot chanset.Set) {
+	old, ok := a.u[j]
+	if !ok {
+		return // not an interference neighbor; ignore
+	}
+	if g, ok := a.granted[j]; ok && !g.Empty() {
+		// Channels now visible in j's snapshot are owned by j; the
+		// snapshot stream governs them from here on.
+		resolved := chanset.Intersect(g, snapshot)
+		resolved.ForEach(func(ch chanset.Channel) bool {
+			a.grantResolve(j, ch)
+			return true
+		})
+		// Still-pending grants are unioned into the effective snapshot.
+		snapshot = chanset.Union(snapshot, a.granted[j])
+	}
+	old.ForEach(func(ch chanset.Channel) bool {
+		if !snapshot.Contains(ch) {
+			a.removeU(j, ch)
+		}
+		return true
+	})
+	snapshot.ForEach(func(ch chanset.Channel) bool {
+		a.addU(j, ch)
+		return true
+	})
+}
+
+// checkMode is the paper's check_mode() (Figure 6): it appends the
+// current free-primary count to the NFC window, linearly extrapolates it
+// one round trip (2T) ahead, and switches modes across the θ_l / θ_h
+// hysteresis band. Transitions out of borrowing are suppressed while a
+// request is in flight (DESIGN.md D2).
+func (a *Adaptive) checkMode() {
+	s := a.freePrimary().Len()
+	now := a.env.Now()
+	a.nfc.add(now, s)
+	next := a.nfc.predict(now, s, 2*a.env.Latency())
+	p := a.factory.params
+	switch {
+	case a.mode == ModeLocal && next < p.ThetaLow:
+		a.mode = ModeBorrow
+		a.counters.ModeChanges++
+		alloc.Broadcast(a.env, message.Message{
+			Kind: message.ChangeMode, From: a.cell, Mode: message.ModeBorrowing,
+		}, a.neighbors)
+	case a.mode == ModeBorrow && next >= p.ThetaHigh && a.req == nil:
+		a.mode = ModeLocal
+		a.counters.ModeChanges++
+		alloc.Broadcast(a.env, message.Message{
+			Kind: message.ChangeMode, From: a.cell, Mode: message.ModeLocal,
+		}, a.neighbors)
+	}
+}

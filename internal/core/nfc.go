@@ -1,0 +1,78 @@
+package core
+
+import "repro/internal/sim"
+
+// nfcWindow is the paper's NFC_i list: a history of (time, free-primary
+// count) samples covering the last W ticks, used by check_mode() to
+// linearly extrapolate the free-channel count one round trip into the
+// future:
+//
+//	next = s + 2T * (s - last) / W
+//
+// where s is the current count and last = get_nfc(now - W).
+type nfcWindow struct {
+	window sim.Time
+	times  []sim.Time
+	counts []int
+	// head is the index of the oldest retained sample (simple ring-free
+	// compaction: entries before head are logically deleted).
+	head int
+}
+
+// init seeds the window with the count at time t0 (add_nfc of the paper
+// guarantees at least one sample is always retrievable).
+func (w *nfcWindow) init(t0 sim.Time, count int, window sim.Time) {
+	w.window = window
+	w.times = append(w.times[:0], t0)
+	w.counts = append(w.counts[:0], count)
+	w.head = 0
+}
+
+// add is the paper's add_nfc(t, s): record the sample and drop samples
+// older than t - W, always retaining at least the newest sample at or
+// before the cutoff so get_nfc(t - W) stays answerable.
+func (w *nfcWindow) add(t sim.Time, s int) {
+	// Samples arrive in nondecreasing time order (virtual time only
+	// moves forward); identical times overwrite.
+	if n := len(w.times); n > w.head && w.times[n-1] == t {
+		w.counts[n-1] = s
+	} else {
+		w.times = append(w.times, t)
+		w.counts = append(w.counts, s)
+	}
+	cutoff := t - w.window
+	// Advance head while the *next* sample is still at or before the
+	// cutoff (so the sample at head is the value in effect at cutoff).
+	for w.head+1 < len(w.times) && w.times[w.head+1] <= cutoff {
+		w.head++
+	}
+	// Physically compact once the dead prefix gets large.
+	if w.head > 64 && w.head > len(w.times)/2 {
+		n := copy(w.times, w.times[w.head:])
+		w.times = w.times[:n]
+		copy(w.counts, w.counts[w.head:])
+		w.counts = w.counts[:n]
+		w.head = 0
+	}
+}
+
+// get is the paper's get_nfc(t): the free-primary count in effect at
+// time t. For t older than the retained history it returns the oldest
+// known value.
+func (w *nfcWindow) get(t sim.Time) int {
+	best := w.counts[w.head]
+	for i := w.head; i < len(w.times); i++ {
+		if w.times[i] > t {
+			break
+		}
+		best = w.counts[i]
+	}
+	return best
+}
+
+// predict extrapolates the count at now+horizon from the trend over the
+// window: s + horizon*(s-last)/W.
+func (w *nfcWindow) predict(now sim.Time, s int, horizon sim.Time) float64 {
+	last := w.get(now - w.window)
+	return float64(s) + float64(horizon)*float64(s-last)/float64(w.window)
+}

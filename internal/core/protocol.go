@@ -1,0 +1,582 @@
+package core
+
+import (
+	"fmt"
+	"repro/internal/alloc"
+
+	"repro/internal/chanset"
+	"repro/internal/hexgrid"
+	"repro/internal/lamport"
+	"repro/internal/message"
+)
+
+// The paper's Request_Channel (Figure 2) is blocking pseudo-code with
+// four "wait UNTIL" points. Those become the phases of this FSM:
+//
+//	phaseQuiesce — local mode, waiting_i > 0: wait for the outstanding
+//	               search ACQUISITIONs before allocating locally.
+//	phaseStatus  — local mode, no free primary: CHANGE_MODE(1) sent,
+//	               waiting for RESPONSE(status) from every IN_i member.
+//	phaseGrants  — mode 2: REQUEST(update, r) sent, collecting
+//	               grant/reject from every IN_i member.
+//	phaseSearch  — mode 3: REQUEST(search) sent, collecting Use sets.
+type phase int
+
+const (
+	phaseQuiesce phase = iota
+	phaseStatus
+	phaseGrants
+	phaseSearch
+)
+
+// request is the in-flight channel request (at most one per station;
+// additional arrivals queue in the Serial).
+type request struct {
+	id alloc.RequestID
+	// ts is assigned once and kept across retries, exactly as the
+	// paper's recursive Request_Channel(ts_i) reuses its timestamp —
+	// this is what makes old requests win deferral races and
+	// guarantees progress (Theorem 2).
+	ts       lamport.Stamp
+	ph       phase
+	ch       chanset.Channel // candidate channel in phaseGrants
+	awaiting map[hexgrid.CellID]bool
+	granted  []hexgrid.CellID
+	rejected bool
+}
+
+// acquisition paths, for the ξ1/ξ2/ξ3 counters.
+const (
+	pathLocal = iota
+	pathUpdate
+	pathSearch
+)
+
+// startRequest is the Serial's start hook: a fresh request begins.
+func (a *Adaptive) startRequest(id alloc.RequestID) {
+	a.env.Began(id)
+	a.req = &request{id: id, ts: a.clock.Tick()}
+	a.dispatch()
+}
+
+// dispatch is Request_Channel: it routes the active request according to
+// the station's current mode. It is re-entered after phaseStatus
+// completes and after every failed borrowing-update attempt (the paper's
+// recursive calls).
+func (a *Adaptive) dispatch() {
+	r := a.req
+	if a.mode == ModeLocal {
+		if a.waiting > 0 {
+			// Wait until every in-flight search we answered has
+			// finished; otherwise we could grab a primary that a
+			// searcher is concurrently selecting.
+			a.pending = true
+			r.ph = phaseQuiesce
+			return
+		}
+		a.pending = false
+		if ch := a.freePrimary().First(); ch.Valid() {
+			a.finishGrant(ch, pathLocal)
+			return
+		}
+		// No free primary: check_mode() must move us to borrowing
+		// (with zero free primaries the prediction is <= 0 < θ_l), and
+		// the CHANGE_MODE(1) broadcast collects every neighbor's Use
+		// set via RESPONSE(status).
+		a.checkMode()
+		if a.mode == ModeLocal {
+			// Defensive: unreachable for validated params, but a
+			// stuck-local station would deadlock the request.
+			a.forceBorrow()
+		}
+		r.ph = phaseStatus
+		r.awaiting = a.awaitAll()
+		if len(r.awaiting) == 0 {
+			a.dispatchBorrow()
+		}
+		return
+	}
+	a.dispatchBorrow()
+}
+
+// forceBorrow performs the local→borrowing transition unconditionally.
+func (a *Adaptive) forceBorrow() {
+	a.mode = ModeBorrow
+	a.counters.ModeChanges++
+	broadcast(a, message.Message{Kind: message.ChangeMode, Mode: message.ModeBorrowing})
+}
+
+// dispatchBorrow is the borrowing branch of Request_Channel.
+func (a *Adaptive) dispatchBorrow() {
+	r := a.req
+	// A primary may have freed while we were collecting responses.
+	if ch := a.freePrimary().First(); ch.Valid() {
+		// Safety refinement over the literal Figure 2 (DESIGN.md D8):
+		// the paper guards direct primary acquisition with the
+		// waiting/pending quiescence rule only in local mode, but the
+		// same race exists here — an in-flight search we already
+		// answered may be about to select this primary. Quiesce first.
+		if a.waiting > 0 {
+			a.pending = true
+			r.ph = phaseQuiesce
+			return
+		}
+		a.finishGrant(ch, pathLocal)
+		return
+	}
+	j := a.best()
+	a.rounds++
+	var ch chanset.Channel = chanset.NoChannel
+	if j != hexgrid.None {
+		ch = a.pickBorrow(j)
+	}
+	if j != hexgrid.None && a.rounds <= a.factory.params.Alpha && ch.Valid() {
+		// Borrowing update attempt (mode 2): optimistically pick ch
+		// and ask the whole interference region for permission.
+		a.mode = ModeBorrowUpdate
+		a.counters.UpdateAttempts++
+		r.ph = phaseGrants
+		r.ch = ch
+		r.awaiting = a.awaitAll()
+		r.granted = r.granted[:0]
+		r.rejected = false
+		broadcast(a, message.Message{
+			Kind: message.Request, Req: message.ReqUpdate, Ch: ch, TS: r.ts,
+		})
+		if len(r.awaiting) == 0 {
+			a.completeGrants()
+		}
+		return
+	}
+	// Borrowing search (mode 3): collect every neighbor's Use set;
+	// timestamp order sequentializes concurrent requests, so a free
+	// channel is found whenever one exists.
+	a.mode = ModeBorrowSearch
+	r.ph = phaseSearch
+	r.awaiting = a.awaitAll()
+	broadcast(a, message.Message{
+		Kind: message.Request, Req: message.ReqSearch, Ch: chanset.NoChannel, TS: r.ts,
+	})
+	if len(r.awaiting) == 0 {
+		a.completeSearch()
+	}
+}
+
+// completeGrants runs when every grant/reject for the update attempt has
+// arrived.
+func (a *Adaptive) completeGrants() {
+	r := a.req
+	if !r.rejected {
+		a.finishGrant(r.ch, pathUpdate)
+		return
+	}
+	// Failed: release the permissions we did get, then retry (the
+	// granters added ch to their interference sets when granting).
+	a.mode = ModeBorrow
+	for _, g := range r.granted {
+		a.env.Send(message.Message{
+			Kind: message.Release, From: a.cell, To: g, Ch: r.ch, TS: r.ts,
+		})
+	}
+	a.dispatch()
+}
+
+// completeSearch runs when every Use set for the search has arrived.
+func (a *Adaptive) completeSearch() {
+	r := a.req
+	free := a.freeAnywhere()
+	if ch := free.First(); ch.Valid() {
+		a.finishGrant(ch, pathSearch)
+		return
+	}
+	// No channel anywhere in the interference region: the call drops.
+	// acquire(NoChannel) still broadcasts ACQUISITION(search) so
+	// neighbors decrement their waiting counters (DESIGN.md D6).
+	a.acquire(chanset.NoChannel)
+	a.counters.Drops++
+	id := r.id
+	a.req = nil
+	a.env.Denied(id)
+	a.serial.Finish()
+}
+
+// finishGrant acquires ch, reports success and releases the station for
+// the next queued request.
+func (a *Adaptive) finishGrant(ch chanset.Channel, path int) {
+	r := a.req
+	a.acquire(ch)
+	switch path {
+	case pathLocal:
+		a.counters.GrantsLocal++
+	case pathUpdate:
+		a.counters.GrantsUpdate++
+	case pathSearch:
+		a.counters.GrantsSearch++
+	}
+	id := r.id
+	a.req = nil
+	a.env.Granted(id, ch)
+	a.serial.Finish()
+}
+
+// acquire is Figure 3: record the channel, announce the acquisition
+// according to the mode it was acquired in, drain the defer queue, and
+// re-check the mode if still local.
+func (a *Adaptive) acquire(ch chanset.Channel) {
+	if ch.Valid() {
+		a.use.Add(ch)
+	}
+	a.rounds = 0
+	switch a.mode {
+	case ModeLocal, ModeBorrow:
+		// Only neighbors currently in borrowing mode track our usage.
+		for _, j := range a.neighbors { // deterministic order
+			if a.updateS[j] {
+				a.env.Send(message.Message{
+					Kind: message.Acquisition, Acq: message.AcqNonSearch,
+					From: a.cell, To: j, Ch: ch,
+				})
+			}
+		}
+	case ModeBorrowUpdate:
+		// The grant round already informed the whole neighborhood.
+		a.mode = ModeBorrow
+	case ModeBorrowSearch:
+		broadcast(a, message.Message{
+			Kind: message.Acquisition, Acq: message.AcqSearch, Ch: ch,
+		})
+		a.mode = ModeBorrow
+	}
+	// Drain DeferQ_i.
+	q := a.deferQ
+	a.deferQ = nil
+	for _, d := range q {
+		if d.search {
+			a.waiting++
+			a.env.Send(message.Message{
+				Kind: message.Response, Res: message.ResSearch,
+				From: a.cell, To: d.from, TS: d.ts, Use: a.use.Clone(),
+			})
+			continue
+		}
+		if a.use.Contains(d.ch) {
+			a.env.Send(message.Message{
+				Kind: message.Response, Res: message.ResReject,
+				From: a.cell, To: d.from, Ch: d.ch, TS: d.ts,
+			})
+		} else {
+			a.env.Send(message.Message{
+				Kind: message.Response, Res: message.ResGrant,
+				From: a.cell, To: d.from, Ch: d.ch, TS: d.ts,
+			})
+			a.grantRecord(d.from, d.ch)
+			a.addU(d.from, d.ch)
+		}
+	}
+	if a.mode == ModeLocal {
+		a.checkMode()
+	}
+}
+
+// Release is Figure 9 (Deallocate): the channel returns to the pool and
+// the release is announced — to the borrowing neighbors only when local,
+// to the whole interference region otherwise.
+func (a *Adaptive) Release(ch chanset.Channel) {
+	if !a.use.Contains(ch) {
+		panic(fmt.Sprintf("core: cell %d releasing channel %d it does not hold", a.cell, ch))
+	}
+	// Repacking extension: keep the freed primary in service by moving
+	// a borrowed call onto it and releasing the borrowed channel back
+	// to the region instead (strictly better for neighbors: a primary
+	// only we can use stays busy, a sharable channel frees up).
+	if a.factory.params.Repack && a.pr.Contains(ch) {
+		borrowed := chanset.Subtract(a.use, a.pr)
+		if b := borrowed.First(); b.Valid() {
+			a.use.Remove(b)
+			a.env.Moved(b, ch) // ch stays in use, now carrying b's call
+			broadcast(a, message.Message{Kind: message.Release, Ch: b})
+			a.checkMode()
+			return
+		}
+	}
+	a.use.Remove(ch)
+	if a.mode == ModeLocal && a.pr.Contains(ch) {
+		// A primary release matters only to borrowing neighbors.
+		for _, j := range a.neighbors {
+			if a.updateS[j] {
+				a.env.Send(message.Message{
+					Kind: message.Release, From: a.cell, To: j, Ch: ch,
+				})
+			}
+		}
+	} else {
+		// Borrowed (non-primary) channels were acquired through a round
+		// that informed the whole interference region; release them the
+		// same way even from local mode, or their owners' grant records
+		// would go stale forever (DESIGN.md D10).
+		broadcast(a, message.Message{Kind: message.Release, Ch: ch})
+	}
+	a.checkMode()
+}
+
+// Handle implements alloc.Allocator: the five receive procedures of the
+// paper (Figures 4, 5, 7, 8 and the response handling implicit in
+// Figure 2's wait conditions).
+func (a *Adaptive) Handle(m message.Message) {
+	// Lamport receive rule. Without it two causally ordered requests
+	// could carry inverted timestamps and break the deferral argument
+	// of Theorems 1 and 2.
+	a.clock.Witness(m.TS)
+	switch m.Kind {
+	case message.Request:
+		a.onRequest(m)
+	case message.Response:
+		a.onResponse(m)
+	case message.ChangeMode:
+		a.onChangeMode(m)
+	case message.Acquisition:
+		a.onAcquisition(m)
+	case message.Release:
+		a.onRelease(m)
+	}
+}
+
+// onRequest is Figure 4.
+func (a *Adaptive) onRequest(m message.Message) {
+	if m.Req == message.ReqUpdate {
+		switch a.mode {
+		case ModeLocal, ModeBorrow:
+			a.respondUpdate(m)
+		case ModeBorrowUpdate:
+			// Reject if the channel is busy here or our own pending
+			// request is older (lower timestamp wins).
+			if a.use.Contains(m.Ch) || a.req.ts.Less(m.TS) {
+				a.sendReject(m)
+			} else {
+				a.sendGrant(m)
+			}
+		case ModeBorrowSearch:
+			// Safety refinement over the literal Figure 4 (DESIGN.md
+			// D7): a channel we are using must be rejected outright
+			// even while searching.
+			switch {
+			case a.use.Contains(m.Ch):
+				a.sendReject(m)
+			case a.req.ts.Less(m.TS):
+				a.deferQ = append(a.deferQ, deferred{ch: m.Ch, ts: m.TS, from: m.From})
+			default:
+				a.sendGrant(m)
+			}
+		}
+		return
+	}
+	// Search request.
+	switch a.mode {
+	case ModeLocal, ModeBorrow:
+		// While a pending request waits for quiescence (waiting = 0),
+		// newer searches are deferred — answering them would keep
+		// incrementing waiting and starve the pending request. This is
+		// the paper's local-mode rule; it must also cover the
+		// borrowing-mode quiescence of DESIGN.md D8, or a hot region
+		// livelocks (observed at 1.1 Erlang/primary).
+		if a.pending && a.req != nil && a.req.ts.Less(m.TS) {
+			a.deferQ = append(a.deferQ, deferred{search: true, ts: m.TS, from: m.From})
+		} else {
+			a.respondSearch(m)
+		}
+	case ModeBorrowUpdate, ModeBorrowSearch:
+		if a.req.ts.Less(m.TS) {
+			a.deferQ = append(a.deferQ, deferred{search: true, ts: m.TS, from: m.From})
+		} else {
+			a.respondSearch(m)
+		}
+	}
+}
+
+func (a *Adaptive) respondUpdate(m message.Message) {
+	if a.use.Contains(m.Ch) {
+		a.sendReject(m)
+	} else {
+		a.sendGrant(m)
+	}
+}
+
+func (a *Adaptive) sendReject(m message.Message) {
+	a.env.Send(message.Message{
+		Kind: message.Response, Res: message.ResReject,
+		From: a.cell, To: m.From, Ch: m.Ch, TS: m.TS,
+	})
+}
+
+// sendGrant grants channel m.Ch to m.From and records the channel as
+// interfered (the requester is about to use it; a RELEASE undoes this if
+// the requester's round fails).
+func (a *Adaptive) sendGrant(m message.Message) {
+	a.env.Send(message.Message{
+		Kind: message.Response, Res: message.ResGrant,
+		From: a.cell, To: m.From, Ch: m.Ch, TS: m.TS,
+	})
+	a.grantRecord(m.From, m.Ch)
+	a.addU(m.From, m.Ch)
+	a.checkMode()
+}
+
+func (a *Adaptive) respondSearch(m message.Message) {
+	a.waiting++
+	a.env.Send(message.Message{
+		Kind: message.Response, Res: message.ResSearch,
+		From: a.cell, To: m.From, TS: m.TS, Use: a.use.Clone(),
+	})
+}
+
+// onResponse feeds the active request FSM.
+func (a *Adaptive) onResponse(m message.Message) {
+	r := a.req
+	switch m.Res {
+	case message.ResGrant, message.ResReject:
+		if r == nil || r.ph != phaseGrants || !m.TS.Equal(r.ts) || !r.awaiting[m.From] {
+			// Stale grant for an attempt we already resolved: undo the
+			// permission the responder recorded. (Unreachable while
+			// every attempt collects all responses; kept as armor.)
+			if m.Res == message.ResGrant {
+				a.env.Send(message.Message{
+					Kind: message.Release, From: a.cell, To: m.From, Ch: m.Ch,
+				})
+			}
+			return
+		}
+		delete(r.awaiting, m.From)
+		if m.Res == message.ResGrant {
+			r.granted = append(r.granted, m.From)
+		} else {
+			r.rejected = true
+		}
+		if len(r.awaiting) == 0 {
+			a.completeGrants()
+		}
+	case message.ResSearch:
+		a.replaceU(m.From, m.Use)
+		if r != nil && r.ph == phaseSearch && m.TS.Equal(r.ts) && r.awaiting[m.From] {
+			delete(r.awaiting, m.From)
+			if len(r.awaiting) == 0 {
+				a.completeSearch()
+			}
+		}
+	case message.ResStatus:
+		a.replaceU(m.From, m.Use)
+		if r != nil && r.ph == phaseStatus && r.awaiting[m.From] {
+			delete(r.awaiting, m.From)
+			if len(r.awaiting) == 0 {
+				a.dispatch()
+			}
+		}
+	}
+}
+
+// onChangeMode is Figure 5.
+func (a *Adaptive) onChangeMode(m message.Message) {
+	if m.Mode == message.ModeLocal {
+		delete(a.updateS, m.From)
+	} else {
+		a.updateS[m.From] = true
+	}
+	a.env.Send(message.Message{
+		Kind: message.Response, Res: message.ResStatus,
+		From: a.cell, To: m.From, Use: a.use.Clone(),
+	})
+}
+
+// onAcquisition is Figure 7.
+func (a *Adaptive) onAcquisition(m message.Message) {
+	if m.Ch.Valid() {
+		a.grantResolve(m.From, m.Ch)
+		a.addU(m.From, m.Ch)
+		a.checkMode()
+	}
+	if m.Acq == message.AcqSearch {
+		if a.waiting > 0 {
+			a.waiting--
+		}
+		if a.waiting == 0 && a.pending && a.req != nil && a.req.ph == phaseQuiesce {
+			a.pending = false
+			a.dispatch()
+		}
+	}
+}
+
+// onRelease is Figure 8.
+func (a *Adaptive) onRelease(m message.Message) {
+	a.grantResolve(m.From, m.Ch)
+	a.removeU(m.From, m.Ch)
+	a.checkMode()
+}
+
+// best selects the lender. With LenderBest it is Figure 10: among the
+// non-borrowing neighbors that own a free (in our view) primary channel
+// we could borrow, pick the one with the fewest borrowing neighbors in
+// common with us (ties break on cell id). The alternative policies
+// support the heuristic's ablation.
+func (a *Adaptive) best() hexgrid.CellID {
+	free := a.freeAnywhere()
+	if free.Empty() {
+		return hexgrid.None
+	}
+	var eligible []hexgrid.CellID
+	for _, j := range a.neighbors {
+		if a.updateS[j] {
+			continue // NotBorrowing = IN_i − UpdateS_i
+		}
+		if !free.Intersects(a.factory.assign.Primary[j]) {
+			continue // nothing to borrow from j (DESIGN.md D1)
+		}
+		eligible = append(eligible, j)
+	}
+	if len(eligible) == 0 {
+		return hexgrid.None
+	}
+	switch a.factory.params.Lender {
+	case LenderFirst:
+		return eligible[0]
+	case LenderRandom:
+		return eligible[a.env.Rand().Intn(len(eligible))]
+	}
+	minID := hexgrid.None
+	minBN := int(^uint(0) >> 1)
+	for _, j := range eligible {
+		bn := 0
+		for _, k := range a.factory.grid.Interference(j) {
+			if a.updateS[k] {
+				bn++ // |UpdateS_i ∩ IN_j|
+			}
+		}
+		if bn < minBN {
+			minID, minBN = j, bn
+		}
+	}
+	return minID
+}
+
+// pickBorrow selects the channel to borrow from lender j: the lowest
+// free channel primary to j (DESIGN.md D1).
+func (a *Adaptive) pickBorrow(j hexgrid.CellID) chanset.Channel {
+	c := chanset.Intersect(a.factory.assign.Primary[j], a.freeAnywhere())
+	return c.First()
+}
+
+func (a *Adaptive) awaitAll() map[hexgrid.CellID]bool {
+	m := make(map[hexgrid.CellID]bool, len(a.neighbors))
+	for _, j := range a.neighbors {
+		m[j] = true
+	}
+	return m
+}
+
+// broadcast sends m (From filled in) to every interference neighbor.
+func broadcast(a *Adaptive, m message.Message) {
+	m.From = a.cell
+	for _, j := range a.neighbors {
+		mm := m
+		mm.To = j
+		a.env.Send(mm)
+	}
+}

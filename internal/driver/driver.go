@@ -1,0 +1,402 @@
+// Package driver wires a scenario together: the hexagonal grid, the
+// primary-channel plan, one allocator per cell, the deterministic DES
+// transport, the Theorem-1 interference checker and the Theorem-2
+// progress watchdog, plus the latency/traffic accounting every
+// experiment reports.
+//
+// The driver exposes a programmatic request/release API; workload
+// generation on top of it lives in internal/traffic.
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/chanset"
+	"repro/internal/hexgrid"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Options configure a simulation.
+type Options struct {
+	// Latency is the one-way message delay T in ticks (default 10).
+	Latency sim.Time
+	// Jitter adds a uniform extra delay in [0, Jitter] per message.
+	Jitter sim.Time
+	// Seed drives all randomness (per-cell substreams are derived).
+	Seed uint64
+	// Check enables the co-channel interference checker on every grant
+	// (Theorem 1). Panics on violation — a violation is never a
+	// recoverable condition, it falsifies the protocol.
+	Check bool
+	// TraceSize, if positive, keeps a ring buffer of the most recent
+	// lifecycle events for debugging.
+	TraceSize int
+	// Wire routes every message through the binary codec (encode on
+	// send, decode on delivery), validating serialization against live
+	// traffic and accounting wire bytes in Stats.Messages.Bytes.
+	Wire bool
+	// DelayBuckets sizes the acquisition-delay histogram in units of
+	// Latency (default 64 buckets of T/2).
+	DelayBuckets int
+}
+
+func (o *Options) applyDefaults() {
+	if o.Latency == 0 {
+		o.Latency = 10
+	}
+	if o.DelayBuckets == 0 {
+		o.DelayBuckets = 64
+	}
+}
+
+// Result describes a completed channel request.
+type Result struct {
+	ID      alloc.RequestID
+	Cell    hexgrid.CellID
+	Granted bool
+	Ch      chanset.Channel
+	// Submitted/Began/Done are the request lifecycle times: submission,
+	// start of protocol work (after station queueing), completion.
+	Submitted, Began, Done sim.Time
+}
+
+// AcquisitionDelay is the protocol time (Began → Done) in ticks.
+func (r Result) AcquisitionDelay() sim.Time { return r.Done - r.Began }
+
+// TotalDelay includes station queueing (Submitted → Done).
+func (r Result) TotalDelay() sim.Time { return r.Done - r.Submitted }
+
+// Sim is one wired scenario.
+type Sim struct {
+	grid    *hexgrid.Grid
+	assign  *chanset.Assignment
+	engine  *sim.Engine
+	net     *transport.DES
+	allocs  []alloc.Allocator
+	opts    Options
+	checker *trace.InterferenceChecker
+	dog     trace.Watchdog
+	ring    *trace.Ring
+
+	nextID  alloc.RequestID
+	pending map[alloc.RequestID]*pendingReq
+	// moved[cell][old] queues repacking moves (Env.Moved) so a caller
+	// releasing the channel it was granted reaches a channel its cell
+	// actually holds. A queue (not a single alias): the same channel id
+	// can be granted, moved, and re-granted repeatedly, leaving several
+	// outstanding forwards. Calls are fungible tokens — any consistent
+	// matching of releases to held channels preserves system state.
+	moved map[hexgrid.CellID]map[chanset.Channel][]chanset.Channel
+
+	// Aggregated statistics.
+	acqDelay   metrics.Welford // ticks, granted requests only
+	totalDelay metrics.Welford
+	queueDelay metrics.Welford
+	delayHist  *metrics.Histogram
+	grants     uint64
+	denies     uint64
+	cellGrants []uint64
+	cellDenies []uint64
+}
+
+type pendingReq struct {
+	cell      hexgrid.CellID
+	submitted sim.Time
+	began     sim.Time
+	cb        func(Result)
+}
+
+// New wires a simulation. The factory builds one allocator per cell.
+func New(grid *hexgrid.Grid, assign *chanset.Assignment, factory alloc.Factory, opts Options) *Sim {
+	opts.applyDefaults()
+	engine := sim.NewEngine()
+	var jr *sim.Rand
+	if opts.Jitter > 0 {
+		jr = sim.Substream(opts.Seed, 0xfeed)
+	}
+	s := &Sim{
+		grid:       grid,
+		assign:     assign,
+		engine:     engine,
+		net:        transport.NewDES(engine, opts.Latency, opts.Jitter, jr),
+		opts:       opts,
+		pending:    make(map[alloc.RequestID]*pendingReq),
+		delayHist:  metrics.NewHistogram(float64(opts.Latency)/2, opts.DelayBuckets),
+		cellGrants: make([]uint64, grid.NumCells()),
+		cellDenies: make([]uint64, grid.NumCells()),
+	}
+	if opts.TraceSize > 0 {
+		s.ring = trace.NewRing(opts.TraceSize)
+	}
+	if opts.Wire {
+		s.net.EnableWire()
+	}
+	s.allocs = make([]alloc.Allocator, grid.NumCells())
+	for i := range s.allocs {
+		cell := hexgrid.CellID(i)
+		a := factory.New(cell)
+		s.allocs[i] = a
+		s.net.Attach(cell, a)
+		env := &cellEnv{sim: s, cell: cell, rand: sim.Substream(opts.Seed, uint64(i)+1)}
+		a.Start(env)
+	}
+	s.checker = trace.NewInterferenceChecker(grid, func(id hexgrid.CellID) chanset.Set {
+		return s.allocs[id].InUse()
+	})
+	return s
+}
+
+// Engine exposes the event loop for scheduling workload events.
+func (s *Sim) Engine() *sim.Engine { return s.engine }
+
+// Grid returns the scenario grid.
+func (s *Sim) Grid() *hexgrid.Grid { return s.grid }
+
+// Assignment returns the primary-channel plan.
+func (s *Sim) Assignment() *chanset.Assignment { return s.assign }
+
+// Latency returns the transport's one-way latency T.
+func (s *Sim) Latency() sim.Time { return s.opts.Latency }
+
+// Allocator returns the allocator of the given cell (for inspection).
+func (s *Sim) Allocator(cell hexgrid.CellID) alloc.Allocator { return s.allocs[cell] }
+
+// Request submits a channel request at cell; cb (optional) runs on
+// completion. It returns the request id.
+func (s *Sim) Request(cell hexgrid.CellID, cb func(Result)) alloc.RequestID {
+	s.nextID++
+	id := s.nextID
+	now := s.engine.Now()
+	s.pending[id] = &pendingReq{cell: cell, submitted: now, began: now, cb: cb}
+	s.dog.Submitted(now)
+	s.traceEvent(trace.Event{At: now, Kind: trace.EvRequest, Cell: cell, Ch: chanset.NoChannel, Info: int64(id)})
+	s.allocs[cell].Request(id)
+	return id
+}
+
+// Release returns channel ch at cell to the pool. If repacking moved
+// the call granted ch onto another channel, the release is forwarded:
+// when ch is not currently held, the oldest outstanding move from ch is
+// consumed instead. (A held ch is always releasable directly — calls
+// are fungible; see the moved field's comment.)
+func (s *Sim) Release(cell hexgrid.CellID, ch chanset.Channel) {
+	if m := s.moved[cell]; m != nil && !s.allocs[cell].InUse().Contains(ch) {
+		if q := m[ch]; len(q) > 0 {
+			target := q[0]
+			if len(q) == 1 {
+				delete(m, ch)
+			} else {
+				m[ch] = q[1:]
+			}
+			ch = target
+		}
+	}
+	s.traceEvent(trace.Event{At: s.engine.Now(), Kind: trace.EvRelease, Cell: cell, Ch: ch})
+	s.allocs[cell].Release(ch)
+}
+
+// Run advances virtual time to until, executing all due events.
+func (s *Sim) Run(until sim.Time) { s.engine.Run(until) }
+
+// Drain runs to quiescence with a backstop; it reports whether the event
+// queue emptied.
+func (s *Sim) Drain(maxEvents uint64) bool { return s.engine.Drain(maxEvents) }
+
+// CheckInvariant verifies Theorem 1 across the whole grid now.
+func (s *Sim) CheckInvariant() error { return s.checker.CheckAll() }
+
+// Stalled reports whether requests have been outstanding for more than
+// window ticks without progress (Theorem 2 violation symptom).
+func (s *Sim) Stalled(window sim.Time) bool {
+	return s.dog.Stalled(s.engine.Now(), window)
+}
+
+// Outstanding returns the number of in-flight requests.
+func (s *Sim) Outstanding() int { return s.dog.Outstanding() }
+
+// Trace returns the retained lifecycle events (nil without TraceSize).
+func (s *Sim) Trace() []trace.Event {
+	if s.ring == nil {
+		return nil
+	}
+	return s.ring.Events()
+}
+
+func (s *Sim) traceEvent(e trace.Event) {
+	if s.ring != nil {
+		s.ring.Add(e)
+	}
+}
+
+// Stats is the aggregate outcome of a run.
+type Stats struct {
+	// Grants and Denies count completed requests.
+	Grants, Denies uint64
+	// Messages is the transport traffic.
+	Messages transport.Stats
+	// AcqDelay is the acquisition (protocol) delay distribution of
+	// granted requests, in ticks.
+	AcqDelay metrics.Welford
+	// TotalDelay includes station queueing.
+	TotalDelay metrics.Welford
+	// QueueDelay is the station queueing component alone.
+	QueueDelay metrics.Welford
+	// DelayP95 is the 95th-percentile acquisition delay in ticks.
+	DelayP95 float64
+	// Counters aggregates the per-scheme protocol counters.
+	Counters alloc.Counters
+	// CellGrants/CellDenies are per-cell tallies (fairness analyses).
+	CellGrants, CellDenies []uint64
+}
+
+// BlockingProbability is Denies / (Grants + Denies).
+func (st Stats) BlockingProbability() float64 {
+	total := st.Grants + st.Denies
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Denies) / float64(total)
+}
+
+// MessagesPerRequest is total messages / completed requests.
+func (st Stats) MessagesPerRequest() float64 {
+	total := st.Grants + st.Denies
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Messages.Total) / float64(total)
+}
+
+// Stats snapshots the current aggregates.
+func (s *Sim) Stats() Stats {
+	st := Stats{
+		Grants:     s.grants,
+		Denies:     s.denies,
+		Messages:   s.net.Stats(),
+		AcqDelay:   s.acqDelay,
+		TotalDelay: s.totalDelay,
+		QueueDelay: s.queueDelay,
+		DelayP95:   s.delayHist.Quantile(0.95),
+		CellGrants: append([]uint64(nil), s.cellGrants...),
+		CellDenies: append([]uint64(nil), s.cellDenies...),
+	}
+	for _, a := range s.allocs {
+		if cp, ok := a.(alloc.CounterProvider); ok {
+			st.Counters.Add(cp.ProtocolCounters())
+		}
+	}
+	return st
+}
+
+// ModeOccupancy returns the fraction of cells currently in each mode
+// 0..3 (adaptive scheme introspection; other schemes report mode 0).
+func (s *Sim) ModeOccupancy() [4]float64 {
+	var counts [4]int
+	for _, a := range s.allocs {
+		m := a.Mode()
+		if m >= 0 && m < 4 {
+			counts[m]++
+		}
+	}
+	var out [4]float64
+	n := float64(len(s.allocs))
+	for i, c := range counts {
+		out[i] = float64(c) / n
+	}
+	return out
+}
+
+// cellEnv implements alloc.Env for one cell.
+type cellEnv struct {
+	sim  *Sim
+	cell hexgrid.CellID
+	rand *sim.Rand
+}
+
+func (e *cellEnv) ID() hexgrid.CellID          { return e.cell }
+func (e *cellEnv) Neighbors() []hexgrid.CellID { return e.sim.grid.Interference(e.cell) }
+func (e *cellEnv) Now() sim.Time               { return e.sim.engine.Now() }
+func (e *cellEnv) Latency() sim.Time           { return e.sim.opts.Latency }
+func (e *cellEnv) Rand() *sim.Rand             { return e.rand }
+
+func (e *cellEnv) Send(m message.Message) {
+	if m.From != e.cell {
+		m.From = e.cell
+	}
+	e.sim.net.Send(m)
+}
+
+func (e *cellEnv) After(d sim.Time, fn func()) { e.sim.engine.After(d, fn) }
+
+func (e *cellEnv) Began(id alloc.RequestID) {
+	if p, ok := e.sim.pending[id]; ok {
+		p.began = e.sim.engine.Now()
+	}
+}
+
+func (e *cellEnv) Moved(from, to chanset.Channel) {
+	s := e.sim
+	if s.moved == nil {
+		s.moved = make(map[hexgrid.CellID]map[chanset.Channel][]chanset.Channel)
+	}
+	m := s.moved[e.cell]
+	if m == nil {
+		m = make(map[chanset.Channel][]chanset.Channel)
+		s.moved[e.cell] = m
+	}
+	m[from] = append(m[from], to)
+}
+
+func (e *cellEnv) Granted(id alloc.RequestID, ch chanset.Channel) {
+	s := e.sim
+	p, ok := s.pending[id]
+	if !ok {
+		panic(fmt.Sprintf("driver: grant for unknown request %d at cell %d", id, e.cell))
+	}
+	delete(s.pending, id)
+	now := s.engine.Now()
+	s.dog.Completed(now)
+	s.grants++
+	s.cellGrants[e.cell]++
+	s.acqDelay.Observe(float64(now - p.began))
+	s.totalDelay.Observe(float64(now - p.submitted))
+	s.queueDelay.Observe(float64(p.began - p.submitted))
+	s.delayHist.Observe(float64(now - p.began))
+	s.traceEvent(trace.Event{At: now, Kind: trace.EvGrant, Cell: e.cell, Ch: ch, Info: int64(id)})
+	if s.opts.Check {
+		if err := s.checker.CheckCell(e.cell); err != nil {
+			panic(err)
+		}
+	}
+	if p.cb != nil {
+		p.cb(Result{
+			ID: id, Cell: e.cell, Granted: true, Ch: ch,
+			Submitted: p.submitted, Began: p.began, Done: now,
+		})
+	}
+}
+
+func (e *cellEnv) Denied(id alloc.RequestID) {
+	s := e.sim
+	p, ok := s.pending[id]
+	if !ok {
+		panic(fmt.Sprintf("driver: denial for unknown request %d at cell %d", id, e.cell))
+	}
+	delete(s.pending, id)
+	now := s.engine.Now()
+	s.dog.Completed(now)
+	s.denies++
+	s.cellDenies[e.cell]++
+	s.traceEvent(trace.Event{At: now, Kind: trace.EvDeny, Cell: e.cell, Ch: chanset.NoChannel, Info: int64(id)})
+	if p.cb != nil {
+		p.cb(Result{
+			ID: id, Cell: e.cell, Granted: false, Ch: chanset.NoChannel,
+			Submitted: p.submitted, Began: p.began, Done: now,
+		})
+	}
+}

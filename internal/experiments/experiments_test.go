@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fastEnv shrinks the default environment so the full experiment suite
+// stays test-speed; the bench harness uses DefaultEnv.
+func fastEnv() Env {
+	e := DefaultEnv()
+	e.Duration = 40_000
+	e.Warmup = 8_000
+	e.Seeds = []uint64{7}
+	return e
+}
+
+func TestDefaultEnvShape(t *testing.T) {
+	e := DefaultEnv()
+	if got := e.InterferenceDegree(); got != 18 {
+		t.Fatalf("N = %v, want 18", got)
+	}
+	if got := e.PrimariesPerCell(); got != 10 {
+		t.Fatalf("primaries per cell = %v, want 10", got)
+	}
+	if e.RatePerCell(3) != 3/e.MeanHold {
+		t.Fatal("RatePerCell conversion")
+	}
+	p := e.AdaptiveParams()
+	if p.Alpha == 0 || p.Window == 0 {
+		t.Fatalf("AdaptiveParams not defaulted: %+v", p)
+	}
+}
+
+func TestRunSchemeUnknown(t *testing.T) {
+	if _, err := RunScheme(fastEnv(), "nope", nil, 0); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
+
+func TestTable2LowLoadShape(t *testing.T) {
+	res, err := Table2(fastEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byScheme := map[string]TableRow{}
+	for _, r := range res.Rows {
+		byScheme[r.Scheme] = r
+	}
+	ad := byScheme["adaptive"]
+	// Headline claim (Table 2): adaptive is (near) free at low load.
+	if ad.MeasuredMsgs > 1 {
+		t.Errorf("adaptive low-load msgs/call = %v, want ~0", ad.MeasuredMsgs)
+	}
+	if ad.MeasuredTime > 0.1 {
+		t.Errorf("adaptive low-load acq time = %v T, want ~0", ad.MeasuredTime)
+	}
+	if ad.Xi1 < 0.98 {
+		t.Errorf("adaptive low-load ξ1 = %v, want ~1", ad.Xi1)
+	}
+	// Search pays 2N always.
+	bs := byScheme["basic-search"]
+	if math.Abs(bs.MeasuredMsgs-36) > 1 {
+		t.Errorf("basic-search msgs/call = %v, want ~2N=36", bs.MeasuredMsgs)
+	}
+	if math.Abs(bs.MeasuredTime-2) > 0.3 {
+		t.Errorf("basic-search acq time = %v, want ~2T", bs.MeasuredTime)
+	}
+	// Update pays 4N and 2T.
+	bu := byScheme["basic-update"]
+	if math.Abs(bu.MeasuredMsgs-72) > 2 {
+		t.Errorf("basic-update msgs/call = %v, want ~4N=72", bu.MeasuredMsgs)
+	}
+	// Advanced update pays ~2N with zero delay.
+	av := byScheme["advanced-update"]
+	if math.Abs(av.MeasuredMsgs-36) > 2 {
+		t.Errorf("advanced-update msgs/call = %v, want ~2N=36", av.MeasuredMsgs)
+	}
+	if av.MeasuredTime > 0.1 {
+		t.Errorf("advanced-update acq time = %v, want ~0", av.MeasuredTime)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "adaptive") || !strings.Contains(out, "Table 2") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestTable1PredictionsTrackMeasurements(t *testing.T) {
+	res, err := Table1(fastEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.Scheme == "basic-search" {
+			// Exact law: 2N messages.
+			if math.Abs(r.MeasuredMsgs-r.PredMsgs) > 1 {
+				t.Errorf("search: measured %v vs predicted %v msgs", r.MeasuredMsgs, r.PredMsgs)
+			}
+		}
+		if r.MeasuredMsgs < 0 || r.MeasuredTime < 0 {
+			t.Errorf("%s: negative metrics", r.Scheme)
+		}
+	}
+	if !strings.Contains(res.Render(), "Table 1") {
+		t.Error("render title")
+	}
+}
+
+func TestTable3BoundsRespected(t *testing.T) {
+	e := fastEnv()
+	res, err := Table3(e, []float64{0.1, 0.6, 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.MinMsgs > r.MaxMsgs || r.MinTime > r.MaxTime {
+			t.Errorf("%s: min > max", r.Scheme)
+		}
+		if !math.IsInf(r.BoundMsgs, 1) && r.MaxMsgs > r.BoundMsgs*1.05 {
+			t.Errorf("%s: measured max msgs %v exceed paper bound %v", r.Scheme, r.MaxMsgs, r.BoundMsgs)
+		}
+		if !math.IsInf(r.BoundTime, 1) && r.MaxTime > r.BoundTime*1.05 {
+			t.Errorf("%s: measured max time %v exceeds paper bound %v", r.Scheme, r.MaxTime, r.BoundTime)
+		}
+	}
+	if !strings.Contains(res.Render(), "inf") {
+		t.Error("render should show the unbounded rows as inf")
+	}
+}
+
+func TestLoadSweepShapes(t *testing.T) {
+	e := fastEnv()
+	res, err := LoadSweep(e, []float64{0.5, 1.1}, []string{"adaptive", "fixed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := res.PerScheme["adaptive"]
+	fx := res.PerScheme["fixed"]
+	if len(ad) != 2 || len(fx) != 2 {
+		t.Fatalf("curve lengths: %d/%d", len(ad), len(fx))
+	}
+	// Blocking grows with load for fixed.
+	if fx[1].Blocking <= fx[0].Blocking {
+		t.Errorf("fixed blocking should grow with load: %v -> %v", fx[0].Blocking, fx[1].Blocking)
+	}
+	// The classic DCA/FCA crossover: dynamic borrowing wins at moderate
+	// load; at uniform saturation fixed packs the spectrum better (the
+	// paper: "fixed channel allocation schemes work well at uniform
+	// loads", dynamic shines at moderate load and hot spots).
+	if ad[0].Blocking >= fx[0].Blocking {
+		t.Errorf("adaptive (%v) should block less than fixed (%v) at moderate load",
+			ad[0].Blocking, fx[0].Blocking)
+	}
+	if ad[1].Blocking < fx[1].Blocking*0.5 {
+		t.Errorf("at uniform saturation fixed should be competitive: adaptive %v vs fixed %v",
+			ad[1].Blocking, fx[1].Blocking)
+	}
+	for _, fn := range []func() string{
+		res.RenderBlocking, res.RenderDelay, res.RenderMessages,
+		res.RenderModeOccupancy, res.RenderTable,
+	} {
+		if out := fn(); len(out) < 40 {
+			t.Errorf("render too short:\n%s", out)
+		}
+	}
+}
+
+func TestHotspotFixedWorstAdaptiveBest(t *testing.T) {
+	e := fastEnv()
+	res, err := Hotspot(e, []float64{1.6}, []string{"fixed", "adaptive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := res.PerScheme["fixed"][0]
+	ad := res.PerScheme["adaptive"][0]
+	if ad >= fx {
+		t.Errorf("hot-cell blocking: adaptive %v should beat fixed %v", ad, fx)
+	}
+	if !strings.Contains(res.Render(), "F4") {
+		t.Error("render")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	e := fastEnv()
+	a, err := AblationAlpha(e, []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Values) != 2 || len(a.Blocking) != 2 {
+		t.Fatalf("alpha ablation shape: %+v", a)
+	}
+	th, err := AblationTheta(e, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(th.Delay) != 2 {
+		t.Fatalf("theta ablation shape: %+v", th)
+	}
+	w, err := AblationWindow(e, []int{10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Msgs) != 2 {
+		t.Fatalf("window ablation shape: %+v", w)
+	}
+	for _, r := range []AblationResult{a, th, w} {
+		if !strings.Contains(r.Render(), "F5") {
+			t.Errorf("render: %q", r.Title)
+		}
+	}
+}
+
+func TestScalabilityFlatPerCallCost(t *testing.T) {
+	e := fastEnv()
+	e.Duration = 30_000
+	res, err := Scalability(e, []int{7, 14}, []string{"adaptive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.PerScheme["adaptive"]
+	if len(c) != 2 {
+		t.Fatalf("curve length %d", len(c))
+	}
+	// Per-call message cost must not blow up with system size
+	// (neighborhood-local protocol): allow 50% wiggle.
+	if c[1] > c[0]*1.5+2 {
+		t.Errorf("per-call cost grew with grid size: %v -> %v", c[0], c[1])
+	}
+	if !strings.Contains(res.Render(), "F6") {
+		t.Error("render")
+	}
+}
+
+func TestFairnessHighLoad(t *testing.T) {
+	e := fastEnv()
+	res, err := Fairness(e, []float64{1.2}, []string{"adaptive", "fixed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sc, vals := range res.PerScheme {
+		if len(vals) != 1 || vals[0] <= 0 || vals[0] > 1+1e-9 {
+			t.Errorf("%s fairness out of range: %v", sc, vals)
+		}
+	}
+	if !strings.Contains(res.Render(), "F8") {
+		t.Error("render")
+	}
+}

@@ -1,0 +1,442 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/plot"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// SweepResult holds per-scheme curves over an offered-load sweep: the
+// data behind figures F1 (blocking), F2 (acquisition delay), F3
+// (messages per call) and F7 (adaptive mode occupancy).
+type SweepResult struct {
+	Title string
+	// Loads is the x-axis: offered Erlangs per primary channel.
+	Loads []float64
+	// PerScheme maps scheme name to its Measured value at each load.
+	PerScheme map[string][]Measured
+}
+
+// curve extracts one metric as a plot series.
+func (r SweepResult) curve(scheme string, f func(Measured) float64) plot.Series {
+	s := plot.Series{Label: scheme}
+	for _, m := range r.PerScheme[scheme] {
+		s.Values = append(s.Values, f(m))
+	}
+	return s
+}
+
+func (r SweepResult) chart(title, ylabel string, f func(Measured) float64, schemes []string) string {
+	var series []plot.Series
+	for _, sc := range schemes {
+		series = append(series, r.curve(sc, f))
+	}
+	return plot.Chart(title, "Erlang/primary", ylabel, r.Loads, series, 61, 14)
+}
+
+// RenderBlocking is figure F1: call blocking probability vs load.
+func (r SweepResult) RenderBlocking() string {
+	return r.chart("F1 — blocking probability vs offered load", "P(block)",
+		func(m Measured) float64 { return m.Blocking }, sortedSchemes(r.PerScheme))
+}
+
+// RenderDelay is figure F2: mean acquisition delay (T-units) vs load.
+func (r SweepResult) RenderDelay() string {
+	return r.chart("F2 — mean acquisition delay vs offered load", "delay (T)",
+		func(m Measured) float64 { return m.AcqTime }, sortedSchemes(r.PerScheme))
+}
+
+// RenderMessages is figure F3: control messages per call vs load.
+func (r SweepResult) RenderMessages() string {
+	return r.chart("F3 — control messages per call vs offered load", "msgs/call",
+		func(m Measured) float64 { return m.MsgsPerCall }, sortedSchemes(r.PerScheme))
+}
+
+// RenderModeOccupancy is figure F7: the adaptive scheme's acquisition
+// path fractions ξ1/ξ2/ξ3 vs load.
+func (r SweepResult) RenderModeOccupancy() string {
+	ms := r.PerScheme["adaptive"]
+	if ms == nil {
+		return "F7 — (no adaptive data)\n"
+	}
+	series := []plot.Series{{Label: "ξ1 local"}, {Label: "ξ2 update"}, {Label: "ξ3 search"}}
+	for _, m := range ms {
+		series[0].Values = append(series[0].Values, m.Xi1)
+		series[1].Values = append(series[1].Values, m.Xi2)
+		series[2].Values = append(series[2].Values, m.Xi3)
+	}
+	return plot.Chart("F7 — adaptive acquisition-path fractions vs offered load",
+		"Erlang/primary", "fraction", r.Loads, series, 61, 14)
+}
+
+// RenderTable dumps the sweep numerically (one block per metric).
+func (r SweepResult) RenderTable() string {
+	var b strings.Builder
+	rows := make([]string, len(r.Loads))
+	for i, l := range r.Loads {
+		rows[i] = fmt.Sprintf("%.2f", l)
+	}
+	for _, metric := range []struct {
+		name string
+		f    func(Measured) float64
+	}{
+		{"blocking", func(m Measured) float64 { return m.Blocking }},
+		{"acq delay (T)", func(m Measured) float64 { return m.AcqTime }},
+		{"msgs/call", func(m Measured) float64 { return m.MsgsPerCall }},
+	} {
+		fmt.Fprintf(&b, "%s by load:\n", metric.name)
+		var cols []metrics.Series
+		for _, sc := range sortedSchemes(r.PerScheme) {
+			s := metrics.Series{Label: sc}
+			for _, m := range r.PerScheme[sc] {
+				s.Values = append(s.Values, metric.f(m))
+			}
+			cols = append(cols, s)
+		}
+		b.WriteString(metrics.Table("load", rows, cols))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderCSV emits the sweep as CSV (columns: per-scheme blocking, delay
+// and msgs side by side), for downstream plotting.
+func (r SweepResult) RenderCSV() string {
+	rows := make([]string, len(r.Loads))
+	for i, l := range r.Loads {
+		rows[i] = fmt.Sprintf("%g", l)
+	}
+	var cols []metrics.Series
+	for _, sc := range sortedSchemes(r.PerScheme) {
+		block := metrics.Series{Label: sc + "_blocking"}
+		delay := metrics.Series{Label: sc + "_delayT"}
+		msgs := metrics.Series{Label: sc + "_msgs"}
+		for _, m := range r.PerScheme[sc] {
+			block.Values = append(block.Values, m.Blocking)
+			delay.Values = append(delay.Values, m.AcqTime)
+			msgs.Values = append(msgs.Values, m.MsgsPerCall)
+		}
+		cols = append(cols, block, delay, msgs)
+	}
+	return metrics.CSV("erlang_per_primary", rows, cols)
+}
+
+func sortedSchemes(m map[string][]Measured) []string {
+	tmp := map[string]float64{}
+	for k := range m {
+		tmp[k] = 0
+	}
+	return metrics.SortedKeys(tmp)
+}
+
+// LoadSweep runs every scheme across the offered-load sweep (uniform
+// traffic), producing the data for F1/F2/F3/F7.
+func LoadSweep(env Env, loads []float64, schemes []string) (SweepResult, error) {
+	if len(loads) == 0 {
+		loads = []float64{0.05, 0.15, 0.3, 0.5, 0.7, 0.9, 1.1}
+	}
+	if len(schemes) == 0 {
+		schemes = Schemes()
+	}
+	prim := env.PrimariesPerCell()
+	res := SweepResult{
+		Title:     "load sweep",
+		Loads:     loads,
+		PerScheme: map[string][]Measured{},
+	}
+	for _, scheme := range schemes {
+		for _, load := range loads {
+			m, err := RunScheme(env, scheme, traffic.Uniform{PerCell: env.RatePerCell(load * prim)}, 0)
+			if err != nil {
+				return SweepResult{}, err
+			}
+			res.PerScheme[scheme] = append(res.PerScheme[scheme], m)
+		}
+	}
+	return res, nil
+}
+
+// HotspotResult is figure F4: hot-cell blocking vs hotspot intensity.
+type HotspotResult struct {
+	Title       string
+	Intensities []float64 // hot-cell Erlang per primary
+	PerScheme   map[string][]float64
+	Background  float64
+}
+
+// Render draws the figure.
+func (r HotspotResult) Render() string {
+	var series []plot.Series
+	for _, sc := range metrics.SortedKeys(toF64Map(r.PerScheme)) {
+		series = append(series, plot.Series{Label: sc, Values: r.PerScheme[sc]})
+	}
+	return plot.Chart(
+		fmt.Sprintf("F4 — hot-cell blocking vs hotspot intensity (background %.2f Erlang/primary)", r.Background),
+		"hot Erlang/primary", "P(block) hot cells", r.Intensities, series, 61, 14)
+}
+
+func toF64Map(m map[string][]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k := range m {
+		out[k] = 0
+	}
+	return out
+}
+
+// Hotspot runs figure F4: a standing radius-1 hotspot over a light
+// background; reported is the blocking probability of the hot cells.
+func Hotspot(env Env, intensities []float64, schemes []string) (HotspotResult, error) {
+	if len(intensities) == 0 {
+		intensities = []float64{0.4, 0.8, 1.2, 1.6, 2.0}
+	}
+	if len(schemes) == 0 {
+		schemes = []string{"fixed", "adaptive", "basic-search"}
+	}
+	const background = 0.15
+	prim := env.PrimariesPerCell()
+	res := HotspotResult{
+		Title:       "hotspot",
+		Intensities: intensities,
+		PerScheme:   map[string][]float64{},
+		Background:  background,
+	}
+	g := gridOf(env)
+	center := g.InteriorCell()
+	for _, scheme := range schemes {
+		for _, hot := range intensities {
+			profile := traffic.NewHotspot(g, center, 1,
+				env.RatePerCell(background*prim), env.RatePerCell(hot*prim))
+			var blockSum float64
+			for _, seed := range env.Seeds {
+				e := env
+				e.Seeds = []uint64{seed}
+				m, ts, err := runWithCells(e, scheme, profile)
+				if err != nil {
+					return HotspotResult{}, err
+				}
+				_ = m
+				var off, blk uint64
+				for c := range profile.Cells {
+					off += ts.PerCellOffered[c]
+					blk += ts.PerCellBlocked[c]
+				}
+				if off > 0 {
+					blockSum += float64(blk) / float64(off)
+				}
+			}
+			res.PerScheme[scheme] = append(res.PerScheme[scheme], blockSum/float64(len(env.Seeds)))
+		}
+	}
+	return res, nil
+}
+
+// runWithCells is runOnce but also returning the traffic stats (per-cell
+// breakdowns).
+func runWithCells(env Env, scheme string, profile traffic.Profile) (Measured, traffic.Stats, error) {
+	seed := env.Seeds[0]
+	m, ts, err := runOnceFull(env, scheme, profile, 0, seed)
+	return m, ts, err
+}
+
+// AblationResult sweeps one adaptive parameter.
+type AblationResult struct {
+	Title  string
+	Param  string
+	Values []float64
+	// Blocking/Delay/Msgs per parameter value.
+	Blocking, Delay, Msgs []float64
+}
+
+// Render draws the three metric curves against the parameter.
+func (r AblationResult) Render() string {
+	series := []plot.Series{
+		{Label: "blocking", Values: r.Blocking},
+		{Label: "delay (T)", Values: r.Delay},
+		{Label: "msgs/call /10", Values: scale(r.Msgs, 0.1)},
+	}
+	return plot.Chart(r.Title, r.Param, "metric", r.Values, series, 61, 12)
+}
+
+func scale(xs []float64, k float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * k
+	}
+	return out
+}
+
+// AblationAlpha is figure F5a: sweep α (update attempts before search)
+// at a fixed moderate-high load.
+func AblationAlpha(env Env, alphas []int) (AblationResult, error) {
+	if len(alphas) == 0 {
+		alphas = []int{0, 1, 2, 3, 5, 8}
+	}
+	res := AblationResult{Title: "F5a — adaptive ablation: α", Param: "alpha"}
+	prim := env.PrimariesPerCell()
+	profile := traffic.Uniform{PerCell: env.RatePerCell(0.8 * prim)}
+	for _, a := range alphas {
+		e := env
+		p := env.AdaptiveParams()
+		p.Alpha = a
+		e.Adaptive = p
+		m, err := RunScheme(e, "adaptive", profile, 0)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		res.Values = append(res.Values, float64(a))
+		res.Blocking = append(res.Blocking, m.Blocking)
+		res.Delay = append(res.Delay, m.AcqTime)
+		res.Msgs = append(res.Msgs, m.MsgsPerCall)
+	}
+	return res, nil
+}
+
+// AblationTheta is figure F5b: sweep the θ_l/θ_h hysteresis band.
+func AblationTheta(env Env, lows []float64) (AblationResult, error) {
+	if len(lows) == 0 {
+		lows = []float64{0.5, 1, 2, 3, 5}
+	}
+	res := AblationResult{Title: "F5b — adaptive ablation: θ_l (θ_h = θ_l + 2)", Param: "theta_l"}
+	prim := env.PrimariesPerCell()
+	profile := traffic.Uniform{PerCell: env.RatePerCell(0.7 * prim)}
+	for _, lo := range lows {
+		e := env
+		p := env.AdaptiveParams()
+		p.ThetaLow = lo
+		p.ThetaHigh = lo + 2
+		e.Adaptive = p
+		m, err := RunScheme(e, "adaptive", profile, 0)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		res.Values = append(res.Values, lo)
+		res.Blocking = append(res.Blocking, m.Blocking)
+		res.Delay = append(res.Delay, m.AcqTime)
+		res.Msgs = append(res.Msgs, m.MsgsPerCall)
+	}
+	return res, nil
+}
+
+// AblationWindow is figure F5c: sweep the NFC prediction window W (in
+// units of T).
+func AblationWindow(env Env, windows []int) (AblationResult, error) {
+	if len(windows) == 0 {
+		windows = []int{5, 20, 50, 150, 400}
+	}
+	res := AblationResult{Title: "F5c — adaptive ablation: NFC window W", Param: "W (in T)"}
+	prim := env.PrimariesPerCell()
+	profile := traffic.Uniform{PerCell: env.RatePerCell(0.7 * prim)}
+	for _, w := range windows {
+		e := env
+		p := env.AdaptiveParams()
+		p.Window = sim.Time(w) * env.Latency
+		e.Adaptive = p
+		m, err := RunScheme(e, "adaptive", profile, 0)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		res.Values = append(res.Values, float64(w))
+		res.Blocking = append(res.Blocking, m.Blocking)
+		res.Delay = append(res.Delay, m.AcqTime)
+		res.Msgs = append(res.Msgs, m.MsgsPerCall)
+	}
+	return res, nil
+}
+
+// ScalabilityResult is figure F6: per-call message cost vs grid size.
+type ScalabilityResult struct {
+	Title     string
+	Cells     []float64
+	PerScheme map[string][]float64 // msgs per call
+	Blocking  map[string][]float64
+}
+
+// Render draws message cost against system size.
+func (r ScalabilityResult) Render() string {
+	var series []plot.Series
+	for _, sc := range metrics.SortedKeys(toF64Map(r.PerScheme)) {
+		series = append(series, plot.Series{Label: sc, Values: r.PerScheme[sc]})
+	}
+	return plot.Chart("F6 — messages per call vs system size (uniform 0.6 Erlang/primary)",
+		"cells", "msgs/call", r.Cells, series, 61, 12)
+}
+
+// Scalability runs figure F6 over growing wrapped grids at constant
+// per-cell load. Per-call cost should stay flat (the protocols are
+// neighborhood-local) — the paper's scalability claim.
+func Scalability(env Env, widths []int, schemes []string) (ScalabilityResult, error) {
+	if len(widths) == 0 {
+		widths = []int{7, 14, 21, 28}
+	}
+	if len(schemes) == 0 {
+		schemes = []string{"adaptive", "basic-search", "basic-update"}
+	}
+	res := ScalabilityResult{
+		Title:     "scalability",
+		PerScheme: map[string][]float64{},
+		Blocking:  map[string][]float64{},
+	}
+	for _, w := range widths {
+		res.Cells = append(res.Cells, float64(w*w))
+	}
+	for _, scheme := range schemes {
+		for _, w := range widths {
+			e := env
+			e.Grid.Width, e.Grid.Height = w, w
+			// Scale the spectrum so primaries per cell stay constant.
+			prim := e.PrimariesPerCell()
+			profile := traffic.Uniform{PerCell: e.RatePerCell(0.6 * prim)}
+			m, err := RunScheme(e, scheme, profile, 0)
+			if err != nil {
+				return ScalabilityResult{}, err
+			}
+			res.PerScheme[scheme] = append(res.PerScheme[scheme], m.MsgsPerCall)
+			res.Blocking[scheme] = append(res.Blocking[scheme], m.Blocking)
+		}
+	}
+	return res, nil
+}
+
+// FairnessResult is figure F8: Jain index of per-cell service ratios at
+// high load.
+type FairnessResult struct {
+	Title     string
+	Loads     []float64
+	PerScheme map[string][]float64
+}
+
+// Render draws fairness against load.
+func (r FairnessResult) Render() string {
+	var series []plot.Series
+	for _, sc := range metrics.SortedKeys(toF64Map(r.PerScheme)) {
+		series = append(series, plot.Series{Label: sc, Values: r.PerScheme[sc]})
+	}
+	return plot.Chart("F8 — Jain fairness of per-cell grant ratios vs load",
+		"Erlang/primary", "Jain index", r.Loads, series, 61, 12)
+}
+
+// Fairness runs figure F8.
+func Fairness(env Env, loads []float64, schemes []string) (FairnessResult, error) {
+	if len(loads) == 0 {
+		loads = []float64{0.6, 0.9, 1.2, 1.5}
+	}
+	if len(schemes) == 0 {
+		schemes = []string{"adaptive", "basic-update", "fixed"}
+	}
+	prim := env.PrimariesPerCell()
+	res := FairnessResult{Title: "fairness", Loads: loads, PerScheme: map[string][]float64{}}
+	for _, scheme := range schemes {
+		for _, load := range loads {
+			m, err := RunScheme(env, scheme, traffic.Uniform{PerCell: env.RatePerCell(load * prim)}, 0)
+			if err != nil {
+				return FairnessResult{}, err
+			}
+			res.PerScheme[scheme] = append(res.PerScheme[scheme], m.Fairness)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/plot"
+)
+
+// SVG variants of the figure renders, for publication-quality output
+// (cmd/chantab -svgdir).
+
+func seriesOf(m map[string][]float64) []plot.Series {
+	var out []plot.Series
+	for _, k := range metrics.SortedKeys(toF64Map(m)) {
+		out = append(out, plot.Series{Label: k, Values: m[k]})
+	}
+	return out
+}
+
+// SVGs returns the four sweep figures (F1/F2/F3/F7) as named SVGs.
+func (r SweepResult) SVGs() map[string]string {
+	blocking := map[string][]float64{}
+	delay := map[string][]float64{}
+	msgs := map[string][]float64{}
+	for sc, ms := range r.PerScheme {
+		for _, m := range ms {
+			blocking[sc] = append(blocking[sc], m.Blocking)
+			delay[sc] = append(delay[sc], m.AcqTime)
+			msgs[sc] = append(msgs[sc], m.MsgsPerCall)
+		}
+	}
+	out := map[string]string{
+		"f1-blocking": plot.SVG("F1 — blocking probability vs offered load",
+			"Erlang/primary", "P(block)", r.Loads, seriesOf(blocking)),
+		"f2-delay": plot.SVG("F2 — mean acquisition delay vs offered load",
+			"Erlang/primary", "delay (T)", r.Loads, seriesOf(delay)),
+		"f3-messages": plot.SVG("F3 — control messages per call vs offered load",
+			"Erlang/primary", "msgs/call", r.Loads, seriesOf(msgs)),
+	}
+	if ms := r.PerScheme["adaptive"]; ms != nil {
+		xi := map[string][]float64{}
+		for _, m := range ms {
+			xi["ξ1 local"] = append(xi["ξ1 local"], m.Xi1)
+			xi["ξ2 update"] = append(xi["ξ2 update"], m.Xi2)
+			xi["ξ3 search"] = append(xi["ξ3 search"], m.Xi3)
+		}
+		out["f7-modes"] = plot.SVG("F7 — adaptive acquisition-path fractions vs load",
+			"Erlang/primary", "fraction", r.Loads, seriesOf(xi))
+	}
+	return out
+}
+
+// SVG renders F4 as SVG.
+func (r HotspotResult) SVG() string {
+	return plot.SVG("F4 — hot-cell blocking vs hotspot intensity",
+		"hot Erlang/primary", "P(block) hot cells", r.Intensities, seriesOf(r.PerScheme))
+}
+
+// SVG renders F6 as SVG.
+func (r ScalabilityResult) SVG() string {
+	return plot.SVG("F6 — messages per call vs system size",
+		"cells", "msgs/call", r.Cells, seriesOf(r.PerScheme))
+}
+
+// SVG renders F8 as SVG.
+func (r FairnessResult) SVG() string {
+	return plot.SVG("F8 — Jain fairness of per-cell grant ratios vs load",
+		"Erlang/primary", "Jain index", r.Loads, seriesOf(r.PerScheme))
+}
+
+// SVG renders F9 as SVG.
+func (r MobilityResult) SVG() string {
+	return plot.SVG("F9 — handoff drop probability vs mobility",
+		"handoffs per call", "P(handoff drop)", r.Rates, seriesOf(r.PerScheme))
+}
+
+// SVG renders F11 as SVG.
+func (r LatencyResult) SVG() string {
+	return plot.SVG("F11 — mean acquisition delay (ticks) vs message latency T",
+		"T (ticks)", "delay (ticks)", r.Latencies, seriesOf(r.DelayTicks))
+}
+
+// SVG renders F12 as SVG.
+func (r RepackResult) SVG() string {
+	return plot.SVG("F12 — repacking extension: blocking vs hotspot load",
+		"Erlang/primary (hot cells)", "P(block)", r.Loads, seriesOf(r.Blocking))
+}

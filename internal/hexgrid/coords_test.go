@@ -1,0 +1,146 @@
+package hexgrid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCubeInvariant(t *testing.T) {
+	for q := -5; q <= 5; q++ {
+		for r := -5; r <= 5; r++ {
+			x, y, z := (Axial{q, r}).Cube()
+			if x+y+z != 0 {
+				t.Fatalf("cube coords of (%d,%d) sum to %d, want 0", q, r, x+y+z)
+			}
+		}
+	}
+}
+
+func TestDistanceIdentity(t *testing.T) {
+	a := Axial{3, -2}
+	if d := Distance(a, a); d != 0 {
+		t.Fatalf("Distance(a,a) = %d, want 0", d)
+	}
+}
+
+func TestDistanceUnitNeighbors(t *testing.T) {
+	origin := Axial{0, 0}
+	for d := 0; d < 6; d++ {
+		n := origin.Neighbor(d)
+		if got := Distance(origin, n); got != 1 {
+			t.Errorf("neighbor %d at %v: distance %d, want 1", d, n, got)
+		}
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	f := func(q1, r1, q2, r2 int8) bool {
+		a := Axial{int(q1), int(r1)}
+		b := Axial{int(q2), int(r2)}
+		return Distance(a, b) == Distance(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(q1, r1, q2, r2, q3, r3 int8) bool {
+		a := Axial{int(q1), int(r1)}
+		b := Axial{int(q2), int(r2)}
+		c := Axial{int(q3), int(r3)}
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTranslationInvariance(t *testing.T) {
+	f := func(q1, r1, q2, r2, dq, dr int8) bool {
+		a := Axial{int(q1), int(r1)}
+		b := Axial{int(q2), int(r2)}
+		d := Axial{int(dq), int(dr)}
+		return Distance(a, b) == Distance(a.Add(d), b.Add(d))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingSizes(t *testing.T) {
+	center := Axial{2, -1}
+	for k := 0; k <= 6; k++ {
+		ring := Ring(center, k)
+		want := 6 * k
+		if k == 0 {
+			want = 1
+		}
+		if len(ring) != want {
+			t.Errorf("Ring(k=%d): %d cells, want %d", k, len(ring), want)
+		}
+		for _, p := range ring {
+			if d := Distance(center, p); d != k {
+				t.Errorf("Ring(k=%d) contains %v at distance %d", k, p, d)
+			}
+		}
+	}
+}
+
+func TestRingDistinct(t *testing.T) {
+	seen := map[Axial]bool{}
+	for _, p := range Ring(Axial{0, 0}, 4) {
+		if seen[p] {
+			t.Fatalf("duplicate cell %v in ring", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestSpiralSizeAndCoverage(t *testing.T) {
+	center := Axial{-3, 5}
+	for k := 0; k <= 5; k++ {
+		sp := Spiral(center, k)
+		want := 1 + 3*k*(k+1)
+		if len(sp) != want {
+			t.Fatalf("Spiral(k=%d): %d cells, want %d", k, len(sp), want)
+		}
+		seen := map[Axial]bool{}
+		for _, p := range sp {
+			if seen[p] {
+				t.Fatalf("Spiral(k=%d): duplicate %v", k, p)
+			}
+			seen[p] = true
+			if Distance(center, p) > k {
+				t.Fatalf("Spiral(k=%d): %v outside radius", k, p)
+			}
+		}
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := Axial{2, -3}
+	b := Axial{-1, 4}
+	if got := a.Add(b).Sub(b); got != a {
+		t.Errorf("Add then Sub: got %v, want %v", got, a)
+	}
+	if got := a.Scale(3); got != (Axial{6, -9}) {
+		t.Errorf("Scale: got %v", got)
+	}
+}
+
+func TestDirectionsSumToZero(t *testing.T) {
+	var sum Axial
+	for _, d := range Directions() {
+		sum = sum.Add(d)
+	}
+	if sum != (Axial{0, 0}) {
+		t.Fatalf("directions sum to %v, want origin", sum)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	if got := (Axial{1, -2}).String(); got != "(1,-2)" {
+		t.Errorf("String: %q", got)
+	}
+}

@@ -1,0 +1,248 @@
+package hexgrid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CellID identifies a cell (equivalently its mobile service station, MSS)
+// inside one Grid. IDs are dense, starting at 0. The paper numbers cells
+// 1..N; we use 0..N-1 and translate only in human-facing output.
+type CellID int32
+
+// None is the invalid cell id.
+const None CellID = -1
+
+// Shape selects how the set of cells of a Grid is laid out.
+type Shape int
+
+const (
+	// Rect lays cells out in a parallelogram of Width x Height axial
+	// coordinates. This is the standard "array of hexagonal cells" of
+	// the paper's Figure 1.
+	Rect Shape = iota
+	// Hexagon lays cells out as a hexagonal patch of the given Radius
+	// around the origin (1 + 3k(k+1) cells).
+	Hexagon
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case Rect:
+		return "rect"
+	case Hexagon:
+		return "hexagon"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// Config describes a grid to build.
+type Config struct {
+	Shape Shape
+	// Width and Height are used when Shape == Rect.
+	Width, Height int
+	// Radius is used when Shape == Hexagon.
+	Radius int
+	// ReuseDistance D: two cells at hex distance <= D may not use the
+	// same channel concurrently. Must be >= 1.
+	ReuseDistance int
+	// Wrap, when true and Shape == Rect, connects the parallelogram
+	// toroidally so every cell has a full interference neighborhood
+	// (no boundary effects). Requires Width and Height each to exceed
+	// 2*ReuseDistance.
+	Wrap bool
+}
+
+// Grid is an immutable hexagonal cell layout plus its interference
+// structure. All slices returned by accessor methods alias internal
+// storage and must not be modified.
+type Grid struct {
+	cfg      Config
+	cells    []Axial          // position of each cell, indexed by CellID
+	index    map[Axial]CellID // inverse of cells (pre-wrap canonical coords)
+	neighbor [][]CellID       // interference neighborhood IN(i), sorted, excluding i
+	adjacent [][]CellID       // hex-distance-1 neighbors, sorted
+}
+
+// New builds a grid from cfg. It returns an error for degenerate
+// configurations rather than panicking, so callers can surface bad
+// scenario files cleanly.
+func New(cfg Config) (*Grid, error) {
+	if cfg.ReuseDistance < 1 {
+		return nil, fmt.Errorf("hexgrid: reuse distance must be >= 1, got %d", cfg.ReuseDistance)
+	}
+	g := &Grid{cfg: cfg, index: make(map[Axial]CellID)}
+	switch cfg.Shape {
+	case Rect:
+		if cfg.Width < 1 || cfg.Height < 1 {
+			return nil, fmt.Errorf("hexgrid: rect grid needs positive dimensions, got %dx%d", cfg.Width, cfg.Height)
+		}
+		if cfg.Wrap && (cfg.Width <= 2*cfg.ReuseDistance || cfg.Height <= 2*cfg.ReuseDistance) {
+			return nil, fmt.Errorf("hexgrid: wrapped %dx%d grid too small for reuse distance %d", cfg.Width, cfg.Height, cfg.ReuseDistance)
+		}
+		for r := 0; r < cfg.Height; r++ {
+			for q := 0; q < cfg.Width; q++ {
+				g.addCell(Axial{q, r})
+			}
+		}
+	case Hexagon:
+		if cfg.Radius < 0 {
+			return nil, fmt.Errorf("hexgrid: hexagon radius must be >= 0, got %d", cfg.Radius)
+		}
+		if cfg.Wrap {
+			return nil, fmt.Errorf("hexgrid: wrap is only supported for rect grids")
+		}
+		for _, a := range Spiral(Axial{0, 0}, cfg.Radius) {
+			g.addCell(a)
+		}
+	default:
+		return nil, fmt.Errorf("hexgrid: unknown shape %v", cfg.Shape)
+	}
+	g.buildNeighborhoods()
+	return g, nil
+}
+
+// MustNew is New but panics on error; for tests and examples with
+// known-good configurations.
+func MustNew(cfg Config) *Grid {
+	g, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Grid) addCell(a Axial) {
+	id := CellID(len(g.cells))
+	g.cells = append(g.cells, a)
+	g.index[a] = id
+}
+
+// buildNeighborhoods computes, for every cell, the set of cells within
+// the reuse distance (interference neighborhood) and within distance 1
+// (physical adjacency, used for handoff).
+func (g *Grid) buildNeighborhoods() {
+	n := len(g.cells)
+	g.neighbor = make([][]CellID, n)
+	g.adjacent = make([][]CellID, n)
+	for id, pos := range g.cells {
+		seenIN := map[CellID]bool{}
+		seenAdj := map[CellID]bool{}
+		for k := 1; k <= g.cfg.ReuseDistance; k++ {
+			for _, p := range Ring(pos, k) {
+				if other, ok := g.lookup(p); ok && other != CellID(id) && !seenIN[other] {
+					seenIN[other] = true
+					g.neighbor[id] = append(g.neighbor[id], other)
+					if k == 1 {
+						seenAdj[other] = true
+						g.adjacent[id] = append(g.adjacent[id], other)
+					}
+				}
+			}
+		}
+		sortIDs(g.neighbor[id])
+		sortIDs(g.adjacent[id])
+	}
+}
+
+// lookup resolves an axial position to a cell id, applying toroidal
+// wrapping when configured.
+func (g *Grid) lookup(a Axial) (CellID, bool) {
+	if g.cfg.Wrap && g.cfg.Shape == Rect {
+		a = Axial{mod(a.Q, g.cfg.Width), mod(a.R, g.cfg.Height)}
+	}
+	id, ok := g.index[a]
+	return id, ok
+}
+
+func mod(v, m int) int {
+	v %= m
+	if v < 0 {
+		v += m
+	}
+	return v
+}
+
+func sortIDs(ids []CellID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// NumCells returns the number of cells in the grid.
+func (g *Grid) NumCells() int { return len(g.cells) }
+
+// Config returns the configuration the grid was built from.
+func (g *Grid) Config() Config { return g.cfg }
+
+// Pos returns the axial position of cell id.
+func (g *Grid) Pos(id CellID) Axial { return g.cells[id] }
+
+// At returns the cell at position a, applying wrapping if configured.
+// The second result is false if no cell exists there.
+func (g *Grid) At(a Axial) (CellID, bool) { return g.lookup(a) }
+
+// Interference returns the interference neighborhood IN(id): every cell
+// within the reuse distance of id, excluding id itself, sorted by id.
+// The returned slice aliases internal storage.
+func (g *Grid) Interference(id CellID) []CellID { return g.neighbor[id] }
+
+// Adjacent returns the hex-distance-1 neighbors of id (up to six), used
+// for mobility/handoff. The returned slice aliases internal storage.
+func (g *Grid) Adjacent(id CellID) []CellID { return g.adjacent[id] }
+
+// Interferes reports whether cells a and b are within the reuse
+// distance of each other (a != b).
+func (g *Grid) Interferes(a, b CellID) bool {
+	if a == b {
+		return false
+	}
+	// Neighborhoods are symmetric by construction; binary-search a's.
+	in := g.neighbor[a]
+	lo, hi := 0, len(in)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if in[mid] < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(in) && in[lo] == b
+}
+
+// MaxInterferenceDegree returns the size of the largest interference
+// neighborhood in the grid (the paper's parameter N for interior cells).
+func (g *Grid) MaxInterferenceDegree() int {
+	max := 0
+	for _, in := range g.neighbor {
+		if len(in) > max {
+			max = len(in)
+		}
+	}
+	return max
+}
+
+// InteriorCell returns the id of a cell with a full-size interference
+// neighborhood, preferring one near the geometric middle of the grid.
+// Useful for picking hotspot centers that are not boundary-distorted.
+func (g *Grid) InteriorCell() CellID {
+	want := g.MaxInterferenceDegree()
+	var center Axial
+	for _, p := range g.cells {
+		center.Q += p.Q
+		center.R += p.R
+	}
+	n := len(g.cells)
+	center = Axial{center.Q / n, center.R / n}
+	best, bestDist := CellID(0), int(^uint(0)>>1)
+	for id, p := range g.cells {
+		if len(g.neighbor[id]) != want {
+			continue
+		}
+		if d := Distance(p, center); d < bestDist {
+			best, bestDist = CellID(id), d
+		}
+	}
+	return best
+}

@@ -1,0 +1,209 @@
+package hexgrid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	cases := []Config{
+		{Shape: Rect, Width: 4, Height: 4, ReuseDistance: 0},
+		{Shape: Rect, Width: 0, Height: 4, ReuseDistance: 1},
+		{Shape: Rect, Width: 4, Height: 0, ReuseDistance: 2},
+		{Shape: Rect, Width: 4, Height: 4, ReuseDistance: 2, Wrap: true}, // too small to wrap
+		{Shape: Hexagon, Radius: -1, ReuseDistance: 1},
+		{Shape: Hexagon, Radius: 2, ReuseDistance: 1, Wrap: true},
+		{Shape: Shape(99), ReuseDistance: 1},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, cfg)
+		}
+	}
+}
+
+func TestRectGridSize(t *testing.T) {
+	g := MustNew(Config{Shape: Rect, Width: 7, Height: 5, ReuseDistance: 2})
+	if g.NumCells() != 35 {
+		t.Fatalf("NumCells = %d, want 35", g.NumCells())
+	}
+}
+
+func TestHexagonGridSize(t *testing.T) {
+	for k := 0; k <= 4; k++ {
+		g := MustNew(Config{Shape: Hexagon, Radius: k, ReuseDistance: 1})
+		want := 1 + 3*k*(k+1)
+		if g.NumCells() != want {
+			t.Errorf("radius %d: NumCells = %d, want %d", k, g.NumCells(), want)
+		}
+	}
+}
+
+func TestInterferenceSymmetric(t *testing.T) {
+	g := MustNew(Config{Shape: Rect, Width: 8, Height: 8, ReuseDistance: 2})
+	for i := 0; i < g.NumCells(); i++ {
+		for _, j := range g.Interference(CellID(i)) {
+			found := false
+			for _, back := range g.Interference(j) {
+				if back == CellID(i) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric interference: %d in IN(%d) but not vice versa", j, i)
+			}
+		}
+	}
+}
+
+func TestInterferenceMatchesDistance(t *testing.T) {
+	g := MustNew(Config{Shape: Hexagon, Radius: 4, ReuseDistance: 2})
+	for i := 0; i < g.NumCells(); i++ {
+		for j := 0; j < g.NumCells(); j++ {
+			if i == j {
+				continue
+			}
+			a, b := CellID(i), CellID(j)
+			wantIn := Distance(g.Pos(a), g.Pos(b)) <= 2
+			if got := g.Interferes(a, b); got != wantIn {
+				t.Fatalf("Interferes(%d,%d) = %v, want %v", i, j, got, wantIn)
+			}
+		}
+	}
+}
+
+func TestInterferesSelf(t *testing.T) {
+	g := MustNew(Config{Shape: Rect, Width: 5, Height: 5, ReuseDistance: 2})
+	if g.Interferes(3, 3) {
+		t.Fatal("a cell must not interfere with itself")
+	}
+}
+
+func TestInteriorNeighborhoodSize(t *testing.T) {
+	// Interior cells of a large grid with reuse distance D have
+	// 3D(D+1) interference neighbors.
+	for d := 1; d <= 3; d++ {
+		g := MustNew(Config{Shape: Rect, Width: 12, Height: 12, ReuseDistance: d})
+		want := 3 * d * (d + 1)
+		if got := g.MaxInterferenceDegree(); got != want {
+			t.Errorf("D=%d: max degree %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestWrapUniformDegree(t *testing.T) {
+	g := MustNew(Config{Shape: Rect, Width: 9, Height: 9, ReuseDistance: 2, Wrap: true})
+	want := 3 * 2 * 3 // 3D(D+1) with D=2
+	for i := 0; i < g.NumCells(); i++ {
+		if got := len(g.Interference(CellID(i))); got != want {
+			t.Fatalf("wrapped cell %d has degree %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWrapAdjacencyDegree(t *testing.T) {
+	g := MustNew(Config{Shape: Rect, Width: 8, Height: 7, ReuseDistance: 1, Wrap: true})
+	for i := 0; i < g.NumCells(); i++ {
+		if got := len(g.Adjacent(CellID(i))); got != 6 {
+			t.Fatalf("wrapped cell %d has %d adjacent cells, want 6", i, got)
+		}
+	}
+}
+
+func TestAdjacentSubsetOfInterference(t *testing.T) {
+	g := MustNew(Config{Shape: Rect, Width: 10, Height: 6, ReuseDistance: 3})
+	for i := 0; i < g.NumCells(); i++ {
+		for _, j := range g.Adjacent(CellID(i)) {
+			if !g.Interferes(CellID(i), j) {
+				t.Fatalf("adjacent cell %d of %d not in interference set", j, i)
+			}
+		}
+	}
+}
+
+func TestAtRoundTrip(t *testing.T) {
+	g := MustNew(Config{Shape: Rect, Width: 6, Height: 4, ReuseDistance: 1})
+	for i := 0; i < g.NumCells(); i++ {
+		id, ok := g.At(g.Pos(CellID(i)))
+		if !ok || id != CellID(i) {
+			t.Fatalf("At(Pos(%d)) = (%d,%v)", i, id, ok)
+		}
+	}
+}
+
+func TestAtWrapped(t *testing.T) {
+	g := MustNew(Config{Shape: Rect, Width: 7, Height: 7, ReuseDistance: 2, Wrap: true})
+	id1, ok1 := g.At(Axial{0, 0})
+	id2, ok2 := g.At(Axial{7, 7})
+	if !ok1 || !ok2 || id1 != id2 {
+		t.Fatalf("wrapped lookup mismatch: (%d,%v) vs (%d,%v)", id1, ok1, id2, ok2)
+	}
+	id3, ok3 := g.At(Axial{-7, 14})
+	if !ok3 || id3 != id1 {
+		t.Fatalf("negative wrapped lookup mismatch: (%d,%v)", id3, ok3)
+	}
+}
+
+func TestAtMissing(t *testing.T) {
+	g := MustNew(Config{Shape: Rect, Width: 3, Height: 3, ReuseDistance: 1})
+	if _, ok := g.At(Axial{100, 100}); ok {
+		t.Fatal("lookup of far-away position should fail on unwrapped grid")
+	}
+}
+
+func TestInteriorCellHasFullDegree(t *testing.T) {
+	g := MustNew(Config{Shape: Rect, Width: 11, Height: 11, ReuseDistance: 2})
+	c := g.InteriorCell()
+	if len(g.Interference(c)) != g.MaxInterferenceDegree() {
+		t.Fatalf("interior cell %d does not have max degree", c)
+	}
+}
+
+func TestNeighborhoodsSorted(t *testing.T) {
+	g := MustNew(Config{Shape: Hexagon, Radius: 3, ReuseDistance: 2})
+	for i := 0; i < g.NumCells(); i++ {
+		in := g.Interference(CellID(i))
+		for k := 1; k < len(in); k++ {
+			if in[k-1] >= in[k] {
+				t.Fatalf("IN(%d) not strictly sorted: %v", i, in)
+			}
+		}
+	}
+}
+
+func TestInterferesAgreesWithMembershipProperty(t *testing.T) {
+	g := MustNew(Config{Shape: Rect, Width: 9, Height: 9, ReuseDistance: 2, Wrap: true})
+	n := g.NumCells()
+	f := func(a, b uint8) bool {
+		i := CellID(int(a) % n)
+		j := CellID(int(b) % n)
+		inSet := false
+		for _, x := range g.Interference(i) {
+			if x == j {
+				inSet = true
+			}
+		}
+		return g.Interferes(i, j) == inSet
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	cfg := Config{Shape: Hexagon, Radius: 2, ReuseDistance: 2}
+	g := MustNew(cfg)
+	if g.Config() != cfg {
+		t.Fatalf("Config() = %+v, want %+v", g.Config(), cfg)
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if Rect.String() != "rect" || Hexagon.String() != "hexagon" {
+		t.Error("shape string values changed")
+	}
+	if Shape(42).String() == "" {
+		t.Error("unknown shape should still format")
+	}
+}

@@ -1,0 +1,109 @@
+package lamport
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTickMonotone(t *testing.T) {
+	c := NewClock(3)
+	prev := c.Now()
+	for i := 0; i < 100; i++ {
+		s := c.Tick()
+		if !prev.Less(s) {
+			t.Fatalf("tick %d not monotone: %v then %v", i, prev, s)
+		}
+		prev = s
+	}
+}
+
+func TestWitnessAdvancesPastRemote(t *testing.T) {
+	c := NewClock(1)
+	remote := Stamp{Time: 50, Node: 2}
+	s := c.Witness(remote)
+	if !remote.Less(s) {
+		t.Fatalf("witnessed stamp %v does not dominate remote %v", s, remote)
+	}
+	if s.Time != 51 {
+		t.Fatalf("expected time 51, got %d", s.Time)
+	}
+}
+
+func TestWitnessOldRemoteStillTicks(t *testing.T) {
+	c := NewClock(1)
+	c.Tick()
+	c.Tick() // time 2
+	s := c.Witness(Stamp{Time: 1, Node: 9})
+	if s.Time != 3 {
+		t.Fatalf("expected time 3, got %d", s.Time)
+	}
+}
+
+func TestTotalOrderTieBreak(t *testing.T) {
+	a := Stamp{Time: 5, Node: 1}
+	b := Stamp{Time: 5, Node: 2}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("node id must break ties")
+	}
+}
+
+func TestLessIsStrictTotalOrder(t *testing.T) {
+	f := func(t1, t2 int16, n1, n2 int8) bool {
+		a := Stamp{Time: int64(t1), Node: int32(n1)}
+		b := Stamp{Time: int64(t2), Node: int32(n2)}
+		switch {
+		case a == b:
+			return !a.Less(b) && !b.Less(a)
+		default:
+			return a.Less(b) != b.Less(a) // exactly one direction
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLessTransitiveProperty(t *testing.T) {
+	f := func(t1, t2, t3 int8, n1, n2, n3 int8) bool {
+		a := Stamp{Time: int64(t1), Node: int32(n1)}
+		b := Stamp{Time: int64(t2), Node: int32(n2)}
+		c := Stamp{Time: int64(t3), Node: int32(n3)}
+		if a.Less(b) && b.Less(c) {
+			return a.Less(c)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroStamp(t *testing.T) {
+	var z Stamp
+	if !z.IsZero() {
+		t.Fatal("zero stamp must report IsZero")
+	}
+	c := NewClock(0)
+	if s := c.Tick(); s.IsZero() {
+		t.Fatal("issued stamp must not be zero")
+	}
+	if !z.Less(c.Now()) {
+		t.Fatal("zero stamp must precede issued stamps")
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	a := Stamp{Time: 7, Node: 2}
+	if !a.Equal(a) || a.Equal(Stamp{Time: 7, Node: 3}) {
+		t.Fatal("Equal broken")
+	}
+	if a.String() != "7.2" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestNodeAccessor(t *testing.T) {
+	if NewClock(42).Node() != 42 {
+		t.Fatal("Node accessor broken")
+	}
+}

@@ -1,0 +1,255 @@
+// Package livenet runs an allocation scheme on the live concurrent
+// runtime: one goroutine per mobile service station (internal/transport
+// Live), wall-clock delays, real parallelism. It exists to validate the
+// protocol under true concurrency (race detector, nondeterministic
+// interleavings) and to power interactive demos; the measured
+// experiments use the deterministic DES driver instead.
+package livenet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/chanset"
+	"repro/internal/hexgrid"
+	"repro/internal/message"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Options configure a live network.
+type Options struct {
+	// Delay is the modeled one-way message latency in wall time.
+	Delay time.Duration
+	// LatencyTicks is the T value reported to allocators (the adaptive
+	// predictor works in ticks; one tick is mapped to TickDuration).
+	LatencyTicks sim.Time
+	// TickDuration maps virtual ticks to wall time for Env.Now and
+	// Env.After (default 100µs per tick).
+	TickDuration time.Duration
+	// Seed drives per-cell randomness.
+	Seed uint64
+	// Mailbox sizes each station's queue.
+	Mailbox int
+}
+
+// Result mirrors driver.Result for the live runtime.
+type Result struct {
+	Cell    hexgrid.CellID
+	Granted bool
+	Ch      chanset.Channel
+}
+
+// Network is a running live network.
+type Network struct {
+	grid   *hexgrid.Grid
+	assign *chanset.Assignment
+	net    *transport.Live
+	allocs []alloc.Allocator
+	opts   Options
+	start  time.Time
+
+	mu          sync.Mutex
+	nextID      alloc.RequestID
+	pending     map[alloc.RequestID]func(Result)
+	outstanding int
+	grants      uint64
+	denies      uint64
+	holding     []chanset.Set // committed holdings per cell (checker)
+	violation   error
+	idleCh      chan struct{}
+}
+
+// New wires the live network and starts its goroutines. Callers must
+// Stop it.
+func New(grid *hexgrid.Grid, assign *chanset.Assignment, factory alloc.Factory, opts Options) *Network {
+	if opts.TickDuration <= 0 {
+		opts.TickDuration = 100 * time.Microsecond
+	}
+	if opts.LatencyTicks <= 0 {
+		opts.LatencyTicks = 10
+	}
+	n := &Network{
+		grid:    grid,
+		assign:  assign,
+		net:     transport.NewLive(opts.Delay, opts.Mailbox),
+		opts:    opts,
+		pending: make(map[alloc.RequestID]func(Result)),
+		holding: make([]chanset.Set, grid.NumCells()),
+		start:   time.Now(),
+	}
+	n.allocs = make([]alloc.Allocator, grid.NumCells())
+	for i := range n.allocs {
+		cell := hexgrid.CellID(i)
+		a := factory.New(cell)
+		n.allocs[i] = a
+		n.net.Attach(cell, a)
+		n.holding[i] = chanset.NewSet(assign.NumChannels)
+	}
+	n.net.Start()
+	// Start must run on each station's goroutine so allocator state is
+	// never touched cross-thread.
+	var wg sync.WaitGroup
+	for i := range n.allocs {
+		i := i
+		cell := hexgrid.CellID(i)
+		env := &liveEnv{net: n, cell: cell, rand: sim.Substream(opts.Seed, uint64(i)+1)}
+		wg.Add(1)
+		n.net.Do(cell, func() {
+			n.allocs[i].Start(env)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	return n
+}
+
+// Stop terminates the station goroutines.
+func (n *Network) Stop() { n.net.Stop() }
+
+// Grid returns the cell layout.
+func (n *Network) Grid() *hexgrid.Grid { return n.grid }
+
+// Request submits a channel request at cell; cb (may be nil) is invoked
+// on the station's goroutine when the request completes.
+func (n *Network) Request(cell hexgrid.CellID, cb func(Result)) {
+	n.mu.Lock()
+	n.nextID++
+	id := n.nextID
+	n.pending[id] = cb
+	n.outstanding++
+	n.mu.Unlock()
+	n.net.Do(cell, func() { n.allocs[cell].Request(id) })
+}
+
+// Release returns a channel at cell.
+func (n *Network) Release(cell hexgrid.CellID, ch chanset.Channel) {
+	n.mu.Lock()
+	n.holding[cell].Remove(ch)
+	n.mu.Unlock()
+	n.net.Do(cell, func() { n.allocs[cell].Release(ch) })
+}
+
+// Outstanding returns in-flight request count.
+func (n *Network) Outstanding() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.outstanding
+}
+
+// Grants and Denies report completed request counts.
+func (n *Network) Grants() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.grants
+}
+
+// Denies reports denied request counts.
+func (n *Network) Denies() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.denies
+}
+
+// Messages returns transport traffic so far.
+func (n *Network) Messages() transport.Stats { return n.net.Stats() }
+
+// Violation returns the first co-channel interference detected among
+// committed outcomes, or nil.
+func (n *Network) Violation() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.violation
+}
+
+// WaitSettled blocks until no requests are outstanding and the transport
+// is idle, or the timeout elapses; reports whether it settled.
+func (n *Network) WaitSettled(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		n.mu.Lock()
+		out := n.outstanding
+		n.mu.Unlock()
+		if out == 0 && n.net.Idle() {
+			return true
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return false
+}
+
+// complete records a finished request and runs its callback.
+func (n *Network) complete(cell hexgrid.CellID, id alloc.RequestID, granted bool, ch chanset.Channel) {
+	n.mu.Lock()
+	cb := n.pending[id]
+	delete(n.pending, id)
+	n.outstanding--
+	if granted {
+		n.grants++
+		n.holding[cell].Add(ch)
+		// Committed-outcome interference check (Theorem 1 over the
+		// driver's book of record).
+		if n.violation == nil {
+			for _, j := range n.grid.Interference(cell) {
+				if n.holding[j].Contains(ch) {
+					n.violation = fmt.Errorf("livenet: cells %d and %d both hold channel %d", cell, j, ch)
+					break
+				}
+			}
+		}
+	} else {
+		n.denies++
+	}
+	n.mu.Unlock()
+	if cb != nil {
+		cb(Result{Cell: cell, Granted: granted, Ch: ch})
+	}
+}
+
+// liveEnv implements alloc.Env on the live runtime. All methods are
+// invoked from the owning station's goroutine.
+type liveEnv struct {
+	net  *Network
+	cell hexgrid.CellID
+	rand *sim.Rand
+}
+
+func (e *liveEnv) ID() hexgrid.CellID          { return e.cell }
+func (e *liveEnv) Neighbors() []hexgrid.CellID { return e.net.grid.Interference(e.cell) }
+func (e *liveEnv) Latency() sim.Time           { return e.net.opts.LatencyTicks }
+func (e *liveEnv) Rand() *sim.Rand             { return e.rand }
+
+func (e *liveEnv) Now() sim.Time {
+	return sim.Time(time.Since(e.net.start) / e.net.opts.TickDuration)
+}
+
+func (e *liveEnv) Send(m message.Message) {
+	if m.From != e.cell {
+		m.From = e.cell
+	}
+	e.net.net.Send(m)
+}
+
+func (e *liveEnv) After(d sim.Time, fn func()) {
+	wall := time.Duration(d) * e.net.opts.TickDuration
+	time.AfterFunc(wall, func() { e.net.net.Do(e.cell, fn) })
+}
+
+func (e *liveEnv) Began(alloc.RequestID) {}
+
+func (e *liveEnv) Granted(id alloc.RequestID, ch chanset.Channel) {
+	e.net.complete(e.cell, id, true, ch)
+}
+
+func (e *liveEnv) Denied(id alloc.RequestID) {
+	e.net.complete(e.cell, id, false, chanset.NoChannel)
+}
+
+// Moved implements alloc.Env. Channel repacking needs runtime-side
+// release redirection, which the live runtime does not provide — build
+// repacking scenarios on the DES driver.
+func (e *liveEnv) Moved(from, to chanset.Channel) {
+	panic("livenet: channel repacking is not supported on the live runtime")
+}

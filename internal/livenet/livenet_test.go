@@ -1,0 +1,165 @@
+package livenet_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chanset"
+	"repro/internal/hexgrid"
+	"repro/internal/livenet"
+	"repro/internal/registry"
+)
+
+func build(t *testing.T, scheme string, channels int, delay time.Duration, seed uint64) *livenet.Network {
+	t.Helper()
+	g, err := hexgrid.New(hexgrid.Config{Shape: hexgrid.Rect, Width: 7, Height: 7, ReuseDistance: 2, Wrap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := chanset.Assign(g, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := registry.Build(scheme, g, assign, registry.Config{Latency: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return livenet.New(g, assign, f, livenet.Options{
+		Delay: delay, LatencyTicks: 10, Seed: seed, TickDuration: 50 * time.Microsecond,
+	})
+}
+
+func TestLiveSingleRequest(t *testing.T) {
+	n := build(t, "adaptive", 70, 0, 1)
+	defer n.Stop()
+	done := make(chan livenet.Result, 1)
+	n.Request(3, func(r livenet.Result) { done <- r })
+	select {
+	case r := <-done:
+		if !r.Granted {
+			t.Fatal("expected grant")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request timed out")
+	}
+	if n.Grants() != 1 || n.Denies() != 0 {
+		t.Fatalf("grants=%d denies=%d", n.Grants(), n.Denies())
+	}
+}
+
+func TestLiveConcurrentHammer(t *testing.T) {
+	// Many goroutines fire requests at every cell concurrently, hold
+	// briefly, release. This is the run the race detector chews on.
+	n := build(t, "adaptive", 35, 0, 2)
+	defer n.Stop()
+	const perCell = 4
+	var wg sync.WaitGroup
+	cells := n.Grid().NumCells()
+	for c := 0; c < cells; c++ {
+		for k := 0; k < perCell; k++ {
+			wg.Add(1)
+			cell := hexgrid.CellID(c)
+			go func() {
+				defer wg.Done()
+				done := make(chan livenet.Result, 1)
+				n.Request(cell, func(r livenet.Result) { done <- r })
+				r := <-done
+				if r.Granted {
+					time.Sleep(time.Duration(1+int(cell)%5) * time.Millisecond)
+					n.Release(r.Cell, r.Ch)
+				}
+			}()
+		}
+	}
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("hammer timed out — possible live-runtime deadlock")
+	}
+	if !n.WaitSettled(10 * time.Second) {
+		t.Fatal("network did not settle")
+	}
+	if err := n.Violation(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Grants()+n.Denies() != uint64(cells*perCell) {
+		t.Fatalf("completed %d of %d", n.Grants()+n.Denies(), cells*perCell)
+	}
+}
+
+func TestLiveWithWireDelay(t *testing.T) {
+	n := build(t, "adaptive", 21, 200*time.Microsecond, 3)
+	defer n.Stop()
+	// Hot neighborhood with delayed messages: forces borrowing over
+	// real asynchronous links.
+	center := n.Grid().InteriorCell()
+	targets := append([]hexgrid.CellID{center}, n.Grid().Interference(center)...)
+	var wg sync.WaitGroup
+	for i, c := range targets {
+		// Five requests per cell exceed the 3 primaries (21 channels /
+		// 7 colors), forcing borrowing over the delayed links.
+		for k := 0; k < 5; k++ {
+			wg.Add(1)
+			cell := c
+			hold := time.Duration(1+(i+k)%3) * time.Millisecond
+			go func() {
+				defer wg.Done()
+				done := make(chan livenet.Result, 1)
+				n.Request(cell, func(r livenet.Result) { done <- r })
+				select {
+				case r := <-done:
+					if r.Granted {
+						time.Sleep(hold)
+						n.Release(r.Cell, r.Ch)
+					}
+				case <-time.After(30 * time.Second):
+					t.Error("request timed out")
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if !n.WaitSettled(10 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	if err := n.Violation(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Messages().Total == 0 {
+		t.Fatal("borrowing under contention must send messages")
+	}
+}
+
+func TestLiveAllSchemes(t *testing.T) {
+	for _, scheme := range registry.Names() {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			n := build(t, scheme, 35, 0, 4)
+			defer n.Stop()
+			var wg sync.WaitGroup
+			for c := 0; c < n.Grid().NumCells(); c += 3 {
+				wg.Add(1)
+				cell := hexgrid.CellID(c)
+				go func() {
+					defer wg.Done()
+					done := make(chan livenet.Result, 1)
+					n.Request(cell, func(r livenet.Result) { done <- r })
+					r := <-done
+					if r.Granted {
+						n.Release(r.Cell, r.Ch)
+					}
+				}()
+			}
+			wg.Wait()
+			if !n.WaitSettled(10 * time.Second) {
+				t.Fatal("did not settle")
+			}
+			if err := n.Violation(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,36 @@
+package message
+
+import (
+	"testing"
+
+	"repro/internal/chanset"
+	"repro/internal/lamport"
+)
+
+func benchMessage() Message {
+	return Message{
+		Kind: Response, From: 12, To: 7, Res: ResSearch,
+		Ch:  chanset.NoChannel,
+		TS:  lamport.Stamp{Time: 123456, Node: 12},
+		Use: chanset.SetOf(0, 5, 17, 63, 64, 100, 127),
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	m := benchMessage()
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], m)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	buf := Encode(nil, benchMessage())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package message
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chanset"
+	"repro/internal/hexgrid"
+	"repro/internal/lamport"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		Request:     "REQUEST",
+		Response:    "RESPONSE",
+		ChangeMode:  "CHANGE_MODE",
+		Acquisition: "ACQUISITION",
+		Release:     "RELEASE",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+	if NumKinds != 5 {
+		t.Errorf("NumKinds = %d, want 5", NumKinds)
+	}
+}
+
+func TestSubTypeStrings(t *testing.T) {
+	if ReqUpdate.String() != "update" || ReqSearch.String() != "search" || ReqTransfer.String() != "transfer" {
+		t.Error("ReqType strings")
+	}
+	if ReqType(9).String() == "" {
+		t.Error("unknown ReqType should format")
+	}
+	for rt, s := range map[ResType]string{
+		ResReject: "reject", ResGrant: "grant", ResSearch: "search",
+		ResStatus: "status", ResCondGrant: "cond-grant",
+		ResAgree: "agree", ResKeep: "keep",
+	} {
+		if rt.String() != s {
+			t.Errorf("ResType %d = %q, want %q", rt, rt.String(), s)
+		}
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := Message{Kind: Request, From: 1, To: 2, Req: ReqUpdate, Ch: 7,
+		TS: lamport.Stamp{Time: 3, Node: 1}}
+	s := m.String()
+	for _, frag := range []string{"REQUEST", "update", "ch=7", "1->2", "3.1"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String %q missing %q", s, frag)
+		}
+	}
+	r := Message{Kind: Response, Res: ResSearch, Use: chanset.SetOf(1, 2)}
+	if !strings.Contains(r.String(), "{1,2}") {
+		t.Errorf("response String %q missing use set", r.String())
+	}
+}
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	buf := Encode(nil, m)
+	got, n, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	return got
+}
+
+func sameMessage(a, b Message) bool {
+	return a.Kind == b.Kind && a.From == b.From && a.To == b.To &&
+		a.Req == b.Req && a.Res == b.Res && a.Acq == b.Acq &&
+		a.Mode == b.Mode && a.Ch == b.Ch && a.TS == b.TS &&
+		a.Use.Equal(b.Use)
+}
+
+func TestCodecRoundTripBasic(t *testing.T) {
+	m := Message{
+		Kind: Response, From: 12, To: 7,
+		Res: ResStatus, Ch: chanset.NoChannel,
+		TS:  lamport.Stamp{Time: 123456789, Node: 12},
+		Use: chanset.SetOf(0, 63, 64, 127, 200),
+	}
+	if got := roundTrip(t, m); !sameMessage(m, got) {
+		t.Fatalf("round trip mismatch:\n  in:  %v\n  out: %v", m, got)
+	}
+}
+
+func TestCodecRoundTripNoChannelNegative(t *testing.T) {
+	m := Message{Kind: Acquisition, Acq: AcqSearch, From: 3, To: 4, Ch: chanset.NoChannel}
+	got := roundTrip(t, m)
+	if got.Ch != chanset.NoChannel {
+		t.Fatalf("NoChannel mangled to %d", got.Ch)
+	}
+	if got.Acq != AcqSearch {
+		t.Fatalf("Acq mangled to %d", got.Acq)
+	}
+}
+
+func TestCodecAppendsToExisting(t *testing.T) {
+	m1 := Message{Kind: Release, From: 1, To: 2, Ch: 9}
+	m2 := Message{Kind: ChangeMode, From: 2, To: 1, Mode: ModeBorrowing}
+	buf := Encode(nil, m1)
+	buf = Encode(buf, m2)
+	got1, n1, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, n2, err := Decode(buf[n1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1+n2 != len(buf) {
+		t.Fatalf("lengths: %d + %d != %d", n1, n2, len(buf))
+	}
+	if !sameMessage(m1, got1) || !sameMessage(m2, got2) {
+		t.Fatal("stream decode mismatch")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("nil buffer should fail")
+	}
+	if _, _, err := Decode(make([]byte, 10)); err == nil {
+		t.Error("short header should fail")
+	}
+	bad := Encode(nil, Message{Kind: Request})
+	bad[0] = 200
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	// Truncated use set.
+	m := Message{Kind: Response, Res: ResSearch, Use: chanset.SetOf(500)}
+	buf := Encode(nil, m)
+	if _, _, err := Decode(buf[:len(buf)-4]); err == nil {
+		t.Error("truncated set should fail")
+	}
+	// Absurd word count.
+	buf2 := Encode(nil, Message{Kind: Request})
+	buf2[28], buf2[29], buf2[30], buf2[31] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := Decode(buf2); err == nil {
+		t.Error("oversized set length should fail")
+	}
+}
+
+func TestStreamReadWrite(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		{Kind: Request, Req: ReqSearch, From: 1, To: 2, Ch: chanset.NoChannel,
+			TS: lamport.Stamp{Time: 4, Node: 1}},
+		{Kind: Response, Res: ResSearch, From: 2, To: 1, Use: chanset.SetOf(3, 99)},
+		{Kind: Release, From: 1, To: 2, Ch: 7},
+	}
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !sameMessage(want, got) {
+			t.Fatalf("message %d mismatch:\n in:  %v\n out: %v", i, want, got)
+		}
+	}
+	if _, err := Read(&buf); err != io.EOF {
+		t.Fatalf("clean stream end should be io.EOF, got %v", err)
+	}
+}
+
+func TestStreamReadTruncated(t *testing.T) {
+	full := Encode(nil, Message{Kind: Response, Res: ResSearch, Use: chanset.SetOf(200)})
+	// Truncated header.
+	if _, err := Read(bytes.NewReader(full[:10])); err == nil {
+		t.Error("truncated header must fail")
+	}
+	// Truncated body.
+	if _, err := Read(bytes.NewReader(full[:len(full)-3])); err == nil {
+		t.Error("truncated body must fail")
+	}
+	// Oversized word count.
+	bad := append([]byte(nil), full...)
+	bad[28], bad[29] = 0xff, 0xff
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("oversized set must fail")
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(kind uint8, req, res, acq, mode uint8, from, to int16, ch int16, tsT int32, tsN int16, chans []uint16) bool {
+		m := Message{
+			Kind: Kind(kind % uint8(NumKinds)),
+			Req:  ReqType(req % 3),
+			Res:  ResType(res % 7),
+			Acq:  AcqType(acq % 2),
+			Mode: mode % 2,
+			From: hexgrid.CellID(from),
+			To:   hexgrid.CellID(to),
+			Ch:   chanset.Channel(ch),
+			TS:   lamport.Stamp{Time: int64(tsT), Node: int32(tsN)},
+		}
+		for _, c := range chans {
+			m.Use.Add(chanset.Channel(c % 1024))
+		}
+		buf := Encode(nil, m)
+		got, n, err := Decode(buf)
+		return err == nil && n == len(buf) && sameMessage(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package netrun_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chanset"
+	"repro/internal/hexgrid"
+	"repro/internal/netrun"
+	"repro/internal/registry"
+)
+
+// BenchmarkDistributedBorrow measures a borrowing acquisition whose
+// permission round crosses real TCP sockets (two nodes, target cell's
+// primaries exhausted so every iteration runs a full borrow + release).
+func BenchmarkDistributedBorrow(b *testing.B) {
+	grid := hexgrid.MustNew(hexgrid.Config{Shape: hexgrid.Rect, Width: 7, Height: 7, ReuseDistance: 2, Wrap: true})
+	assign := chanset.MustAssign(grid, 21)
+	factory, err := registry.Build("adaptive", grid, assign, registry.Config{Latency: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	owner := map[hexgrid.CellID]int{}
+	parts := make([][]hexgrid.CellID, 2)
+	for c := 0; c < grid.NumCells(); c++ {
+		parts[c%2] = append(parts[c%2], hexgrid.CellID(c))
+		owner[hexgrid.CellID(c)] = c % 2
+	}
+	nodes := make([]*netrun.Node, 2)
+	for i := range nodes {
+		n, err := netrun.NewNode(grid, assign, factory, "127.0.0.1:0", netrun.Config{
+			Cells: parts[i], LatencyTicks: 10, Seed: uint64(i) + 1,
+			TickDuration: 20 * time.Microsecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes[i] = n
+		defer n.Close()
+	}
+	routes := map[hexgrid.CellID]string{}
+	for c, i := range owner {
+		routes[c] = nodes[i].Addr()
+	}
+	for _, n := range nodes {
+		n.SetRoutes(routes)
+	}
+	cell := grid.InteriorCell()
+	host := nodes[owner[cell]]
+	// Exhaust the primaries once so the measured path is a real borrow.
+	done := make(chan netrun.Result, 1)
+	for i := 0; i < assign.Primary[cell].Len(); i++ {
+		host.Request(cell, func(r netrun.Result) { done <- r })
+		if r := <-done; !r.Granted {
+			b.Fatal("setup grant failed")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		host.Request(cell, func(r netrun.Result) { done <- r })
+		r := <-done
+		if !r.Granted {
+			b.Fatal("borrow denied")
+		}
+		host.Release(r.Cell, r.Ch)
+	}
+}

@@ -1,0 +1,361 @@
+// Package netrun runs the allocation protocol as an actual distributed
+// system: stations are partitioned across Nodes that exchange the wire
+// messages of internal/message over real TCP connections. It exists to
+// demonstrate that nothing in the protocol depends on shared memory —
+// the same allocator code that runs on the DES and the goroutine runtime
+// runs unchanged over sockets.
+//
+// Topology: every Node listens on one TCP address and hosts a set of
+// cells. A routing table (cell → address) is distributed out of band
+// (it is static configuration, like the cell plan itself). Connections
+// between nodes are dialed lazily and kept open; per-connection writes
+// are serialized, and TCP ordering gives per-link FIFO.
+package netrun
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/chanset"
+	"repro/internal/hexgrid"
+	"repro/internal/message"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Config describes one node's share of the network.
+type Config struct {
+	// Cells hosted by this node.
+	Cells []hexgrid.CellID
+	// LatencyTicks is T as reported to allocators.
+	LatencyTicks sim.Time
+	// TickDuration maps ticks to wall time (default 100µs).
+	TickDuration time.Duration
+	// Seed drives per-cell randomness.
+	Seed uint64
+}
+
+// Result mirrors livenet.Result.
+type Result struct {
+	Cell    hexgrid.CellID
+	Granted bool
+	Ch      chanset.Channel
+}
+
+// Node hosts a subset of the stations and speaks TCP to its peers.
+type Node struct {
+	grid   *hexgrid.Grid
+	cfg    Config
+	ln     net.Listener
+	local  *transport.Live // mailboxes for hosted cells
+	hosted map[hexgrid.CellID]alloc.Allocator
+
+	mu       sync.Mutex
+	routes   map[hexgrid.CellID]string // cell → peer address
+	peers    map[string]*peerConn
+	accepted []net.Conn
+	pending  map[alloc.RequestID]func(Result)
+	nextID   alloc.RequestID
+	outst    int
+	sent     uint64
+	closed   bool
+
+	start time.Time
+	wg    sync.WaitGroup
+}
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	w    *bufio.Writer
+}
+
+// NewNode builds a node hosting cfg.Cells of grid, starts its stations,
+// and listens on addr ("127.0.0.1:0" for an ephemeral port). Routes for
+// remote cells must be installed with SetRoutes before the stations send
+// to them.
+func NewNode(grid *hexgrid.Grid, assign *chanset.Assignment, factory alloc.Factory, addr string, cfg Config) (*Node, error) {
+	if cfg.TickDuration <= 0 {
+		cfg.TickDuration = 100 * time.Microsecond
+	}
+	if cfg.LatencyTicks <= 0 {
+		cfg.LatencyTicks = 10
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netrun: %w", err)
+	}
+	n := &Node{
+		grid:    grid,
+		cfg:     cfg,
+		ln:      ln,
+		local:   transport.NewLive(0, 0),
+		hosted:  make(map[hexgrid.CellID]alloc.Allocator, len(cfg.Cells)),
+		routes:  make(map[hexgrid.CellID]string),
+		peers:   make(map[string]*peerConn),
+		pending: make(map[alloc.RequestID]func(Result)),
+		start:   time.Now(),
+	}
+	for _, cell := range cfg.Cells {
+		a := factory.New(cell)
+		n.hosted[cell] = a
+		n.local.Attach(cell, a)
+	}
+	n.local.Start()
+	var wg sync.WaitGroup
+	for _, cell := range cfg.Cells {
+		cell := cell
+		env := &nodeEnv{node: n, cell: cell, rand: sim.Substream(cfg.Seed, uint64(cell)+1)}
+		wg.Add(1)
+		n.local.Do(cell, func() {
+			n.hosted[cell].Start(env)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// SetRoutes installs the cell → address table for remote cells.
+func (n *Node) SetRoutes(routes map[hexgrid.CellID]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for c, a := range routes {
+		n.routes[c] = a
+	}
+}
+
+// Close shuts the node down: listener, peer connections, stations.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.ln.Close()
+	for _, p := range n.peers {
+		p.conn.Close()
+	}
+	for _, c := range n.accepted {
+		c.Close() // unblock readLoops waiting on remote peers
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	n.local.Stop()
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.accepted = append(n.accepted, conn)
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for {
+		m, err := message.Read(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !n.isClosed() {
+				// Connection torn down mid-message during shutdown is
+				// expected; anything else indicates a wire bug.
+				fmt.Printf("netrun: read error: %v\n", err)
+			}
+			return
+		}
+		n.deliverLocal(m)
+	}
+}
+
+func (n *Node) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+func (n *Node) deliverLocal(m message.Message) {
+	if _, ok := n.hosted[m.To]; !ok {
+		fmt.Printf("netrun: misrouted message for cell %d\n", m.To)
+		return
+	}
+	n.local.Do(m.To, func() { n.hosted[m.To].Handle(m) })
+}
+
+// send routes m to the node hosting m.To.
+func (n *Node) send(m message.Message) {
+	n.mu.Lock()
+	n.sent++
+	if _, ok := n.hosted[m.To]; ok {
+		n.mu.Unlock()
+		n.deliverLocal(m)
+		return
+	}
+	addr, ok := n.routes[m.To]
+	n.mu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("netrun: no route to cell %d", m.To))
+	}
+	p, err := n.peer(addr)
+	if err != nil {
+		if n.isClosed() {
+			return
+		}
+		panic(fmt.Sprintf("netrun: dial %s: %v", addr, err))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := message.Write(p.w, m); err == nil {
+		p.w.Flush()
+	}
+}
+
+func (n *Node) peer(addr string) (*peerConn, error) {
+	n.mu.Lock()
+	if p, ok := n.peers[addr]; ok {
+		n.mu.Unlock()
+		return p, nil
+	}
+	n.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	p := &peerConn{conn: conn, w: bufio.NewWriter(conn)}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if existing, ok := n.peers[addr]; ok {
+		conn.Close() // lost the dial race
+		return existing, nil
+	}
+	n.peers[addr] = p
+	return p, nil
+}
+
+// MessagesSent returns the number of messages this node's stations sent
+// (local and remote).
+func (n *Node) MessagesSent() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent
+}
+
+// Request submits a channel request at a hosted cell.
+func (n *Node) Request(cell hexgrid.CellID, cb func(Result)) {
+	if _, ok := n.hosted[cell]; !ok {
+		panic(fmt.Sprintf("netrun: cell %d not hosted here", cell))
+	}
+	n.mu.Lock()
+	n.nextID++
+	id := n.nextID
+	n.pending[id] = cb
+	n.outst++
+	n.mu.Unlock()
+	n.local.Do(cell, func() { n.hosted[cell].Request(id) })
+}
+
+// Release returns a channel at a hosted cell.
+func (n *Node) Release(cell hexgrid.CellID, ch chanset.Channel) {
+	n.local.Do(cell, func() { n.hosted[cell].Release(ch) })
+}
+
+// Outstanding returns in-flight request count at this node.
+func (n *Node) Outstanding() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.outst
+}
+
+// InUse snapshots a hosted cell's channels (runs on its goroutine).
+func (n *Node) InUse(cell hexgrid.CellID) chanset.Set {
+	done := make(chan chanset.Set, 1)
+	n.local.Do(cell, func() { done <- n.hosted[cell].InUse() })
+	return <-done
+}
+
+func (n *Node) complete(cell hexgrid.CellID, id alloc.RequestID, granted bool, ch chanset.Channel) {
+	n.mu.Lock()
+	cb := n.pending[id]
+	delete(n.pending, id)
+	n.outst--
+	n.mu.Unlock()
+	if cb != nil {
+		cb(Result{Cell: cell, Granted: granted, Ch: ch})
+	}
+}
+
+// nodeEnv implements alloc.Env over the node.
+type nodeEnv struct {
+	node *Node
+	cell hexgrid.CellID
+	rand *sim.Rand
+}
+
+func (e *nodeEnv) ID() hexgrid.CellID          { return e.cell }
+func (e *nodeEnv) Neighbors() []hexgrid.CellID { return e.node.grid.Interference(e.cell) }
+func (e *nodeEnv) Latency() sim.Time           { return e.node.cfg.LatencyTicks }
+func (e *nodeEnv) Rand() *sim.Rand             { return e.rand }
+
+func (e *nodeEnv) Now() sim.Time {
+	return sim.Time(time.Since(e.node.start) / e.node.cfg.TickDuration)
+}
+
+func (e *nodeEnv) Send(m message.Message) {
+	if m.From != e.cell {
+		m.From = e.cell
+	}
+	e.node.send(m)
+}
+
+func (e *nodeEnv) After(d sim.Time, fn func()) {
+	wall := time.Duration(d) * e.node.cfg.TickDuration
+	time.AfterFunc(wall, func() { e.node.local.Do(e.cell, fn) })
+}
+
+func (e *nodeEnv) Began(alloc.RequestID) {}
+
+func (e *nodeEnv) Granted(id alloc.RequestID, ch chanset.Channel) {
+	e.node.complete(e.cell, id, true, ch)
+}
+
+func (e *nodeEnv) Denied(id alloc.RequestID) {
+	e.node.complete(e.cell, id, false, chanset.NoChannel)
+}
+
+// Probe returns a hosted allocator for debugging/inspection. The caller
+// must only use methods safe for cross-goroutine access or quiescent
+// networks.
+func (n *Node) Probe(cell hexgrid.CellID) alloc.Allocator { return n.hosted[cell] }
+
+// Moved implements alloc.Env. Channel repacking needs runtime-side
+// release redirection, which the distributed runtime does not provide —
+// build repacking scenarios on the DES driver.
+func (e *nodeEnv) Moved(from, to chanset.Channel) {
+	panic("netrun: channel repacking is not supported on the distributed runtime")
+}

@@ -1,0 +1,78 @@
+package registry_test
+
+import (
+	"testing"
+
+	"repro/internal/chanset"
+	"repro/internal/core"
+	"repro/internal/hexgrid"
+	"repro/internal/registry"
+)
+
+func fixture(t *testing.T) (*hexgrid.Grid, *chanset.Assignment) {
+	t.Helper()
+	g, err := hexgrid.New(hexgrid.Config{Shape: hexgrid.Rect, Width: 7, Height: 7, ReuseDistance: 2, Wrap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := chanset.Assign(g, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, a
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := registry.Names()
+	if len(names) != 6 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestBuildEveryScheme(t *testing.T) {
+	g, a := fixture(t)
+	for _, name := range registry.Names() {
+		f, err := registry.Build(name, g, a, registry.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if f.Name() != name {
+			t.Fatalf("factory name %q != registry name %q", f.Name(), name)
+		}
+		if f.New(0) == nil {
+			t.Fatalf("%s: nil allocator", name)
+		}
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	g, a := fixture(t)
+	if _, err := registry.Build("nope", g, a, registry.Config{}); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
+
+func TestAdaptiveParamsPassThrough(t *testing.T) {
+	g, a := fixture(t)
+	bad := core.Params{ThetaLow: 5, ThetaHigh: 1, Alpha: 1, Window: 10}
+	if _, err := registry.Build("adaptive", g, a, registry.Config{Adaptive: bad}); err == nil {
+		t.Fatal("invalid adaptive params must propagate")
+	}
+	good := core.Params{ThetaLow: 1, ThetaHigh: 4, Alpha: 2, Window: 100}
+	if _, err := registry.Build("adaptive", g, a, registry.Config{Adaptive: good}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyDefaulted(t *testing.T) {
+	g, a := fixture(t)
+	// Zero latency must not break the adaptive defaults (Window > 0).
+	if _, err := registry.Build("adaptive", g, a, registry.Config{Latency: 0}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package scenario loads simulation scenarios from JSON files, so
+// experiments can be version-controlled and shared instead of encoded in
+// command lines. The schema mirrors the public adca facade:
+//
+//	{
+//	  "scheme": "adaptive",
+//	  "grid": {"width": 7, "height": 7, "reuse_distance": 2, "wrap": true},
+//	  "channels": 70,
+//	  "latency_ticks": 10,
+//	  "seed": 1,
+//	  "adaptive": {"theta_low": 1, "theta_high": 3, "alpha": 3, "window_ticks": 500},
+//	  "workload": {
+//	    "erlang_per_cell": 6,
+//	    "mean_hold_ticks": 3000,
+//	    "handoff_rate": 0.001,
+//	    "duration_ticks": 200000,
+//	    "warmup_ticks": 20000,
+//	    "hotspot": {"erlang": 25, "radius": 1}
+//	  }
+//	}
+//
+// Omitted fields default exactly as in adca.Scenario / adca.Workload.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Grid is the JSON grid block.
+type Grid struct {
+	Width         int  `json:"width"`
+	Height        int  `json:"height"`
+	ReuseDistance int  `json:"reuse_distance"`
+	Wrap          bool `json:"wrap"`
+}
+
+// Adaptive is the JSON adaptive-parameter block.
+type Adaptive struct {
+	ThetaLow    float64 `json:"theta_low"`
+	ThetaHigh   float64 `json:"theta_high"`
+	Alpha       int     `json:"alpha"`
+	WindowTicks int64   `json:"window_ticks"`
+}
+
+// Hotspot is the JSON hotspot block.
+type Hotspot struct {
+	// Erlang is the hot cells' offered load.
+	Erlang float64 `json:"erlang"`
+	// Radius extends the hot zone around the grid's interior cell.
+	Radius int `json:"radius"`
+}
+
+// Workload is the JSON workload block.
+type Workload struct {
+	ErlangPerCell float64  `json:"erlang_per_cell"`
+	MeanHoldTicks float64  `json:"mean_hold_ticks"`
+	HandoffRate   float64  `json:"handoff_rate"`
+	DurationTicks int64    `json:"duration_ticks"`
+	WarmupTicks   int64    `json:"warmup_ticks"`
+	Hotspot       *Hotspot `json:"hotspot"`
+}
+
+// Scenario is the top-level JSON document.
+type Scenario struct {
+	Scheme       string    `json:"scheme"`
+	Grid         Grid      `json:"grid"`
+	Channels     int       `json:"channels"`
+	LatencyTicks int64     `json:"latency_ticks"`
+	JitterTicks  int64     `json:"jitter_ticks"`
+	Seed         uint64    `json:"seed"`
+	MaxRounds    int       `json:"max_rounds"`
+	Adaptive     *Adaptive `json:"adaptive"`
+	Workload     *Workload `json:"workload"`
+}
+
+// Load parses the JSON file at path. Unknown fields are rejected —
+// silently ignoring a typo like "chanels" would invalidate a whole
+// experiment.
+func Load(path string) (Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	var sc Scenario
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// Validate checks ranges that JSON typing cannot (structural validity;
+// deeper protocol-level validation happens when the network is built).
+func (sc Scenario) Validate() error {
+	if sc.Channels < 0 {
+		return fmt.Errorf("channels must be >= 0, got %d", sc.Channels)
+	}
+	if sc.Grid.Width < 0 || sc.Grid.Height < 0 || sc.Grid.ReuseDistance < 0 {
+		return fmt.Errorf("grid dimensions must be >= 0: %+v", sc.Grid)
+	}
+	if sc.LatencyTicks < 0 || sc.JitterTicks < 0 {
+		return fmt.Errorf("latency/jitter must be >= 0")
+	}
+	if w := sc.Workload; w != nil {
+		if w.ErlangPerCell < 0 || w.MeanHoldTicks < 0 || w.HandoffRate < 0 {
+			return fmt.Errorf("workload rates must be >= 0: %+v", *w)
+		}
+		if w.DurationTicks < 0 || w.WarmupTicks < 0 {
+			return fmt.Errorf("workload times must be >= 0: %+v", *w)
+		}
+		if w.WarmupTicks > 0 && w.DurationTicks > 0 && w.WarmupTicks >= w.DurationTicks {
+			return fmt.Errorf("warmup (%d) must end before duration (%d)", w.WarmupTicks, w.DurationTicks)
+		}
+		if h := w.Hotspot; h != nil && (h.Erlang < 0 || h.Radius < 0) {
+			return fmt.Errorf("hotspot must be >= 0: %+v", *h)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadFull(t *testing.T) {
+	p := write(t, `{
+		"scheme": "adaptive",
+		"grid": {"width": 7, "height": 7, "reuse_distance": 2, "wrap": true},
+		"channels": 70,
+		"latency_ticks": 10,
+		"seed": 42,
+		"adaptive": {"theta_low": 1, "theta_high": 3, "alpha": 3, "window_ticks": 500},
+		"workload": {
+			"erlang_per_cell": 6,
+			"mean_hold_ticks": 3000,
+			"duration_ticks": 200000,
+			"warmup_ticks": 20000,
+			"hotspot": {"erlang": 25, "radius": 1}
+		}
+	}`)
+	sc, err := Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Scheme != "adaptive" || sc.Channels != 70 || !sc.Grid.Wrap {
+		t.Fatalf("parsed: %+v", sc)
+	}
+	if sc.Adaptive == nil || sc.Adaptive.Alpha != 3 {
+		t.Fatalf("adaptive block: %+v", sc.Adaptive)
+	}
+	if sc.Workload == nil || sc.Workload.Hotspot == nil || sc.Workload.Hotspot.Erlang != 25 {
+		t.Fatalf("workload block: %+v", sc.Workload)
+	}
+}
+
+func TestLoadMinimal(t *testing.T) {
+	sc, err := Load(write(t, `{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Scheme != "" || sc.Workload != nil {
+		t.Fatalf("minimal: %+v", sc)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(write(t, `{"chanels": 70}`)); err == nil {
+		t.Fatal("typo'd field must be rejected")
+	}
+}
+
+func TestLoadRejectsBadJSON(t *testing.T) {
+	if _, err := Load(write(t, `{`)); err == nil {
+		t.Fatal("bad JSON must be rejected")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must be rejected")
+	}
+}
+
+func TestValidateRanges(t *testing.T) {
+	bad := []string{
+		`{"channels": -1}`,
+		`{"grid": {"width": -1}}`,
+		`{"latency_ticks": -5}`,
+		`{"workload": {"erlang_per_cell": -2}}`,
+		`{"workload": {"duration_ticks": 100, "warmup_ticks": 100}}`,
+		`{"workload": {"hotspot": {"erlang": -1}}}`,
+	}
+	for i, body := range bad {
+		if _, err := Load(write(t, body)); err == nil {
+			t.Errorf("case %d should fail: %s", i, body)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import "testing"
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		if i%1024 == 1023 {
+			e.Run(e.Now() + 2)
+		}
+	}
+	e.Run(e.Now() + 2)
+}
+
+func BenchmarkEngineCascade(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	n := 0
+	var loop func()
+	loop = func() {
+		if n < b.N {
+			n++
+			e.After(1, loop)
+		}
+	}
+	e.At(0, loop)
+	e.Run(Time(b.N) + 10)
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkRandExpTicks(b *testing.B) {
+	r := NewRand(1)
+	var sink Time
+	for i := 0; i < b.N; i++ {
+		sink += r.ExpTicks(1000)
+	}
+	_ = sink
+}
+
+func BenchmarkRandIntn(b *testing.B) {
+	r := NewRand(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(49)
+	}
+	_ = sink
+}

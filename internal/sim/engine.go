@@ -1,0 +1,132 @@
+// Package sim is a deterministic discrete-event simulation kernel: a
+// virtual clock, a binary-heap event queue with stable FIFO ordering of
+// simultaneous events, and seeded random-number streams.
+//
+// All protocol benchmarks run on this kernel so results are exactly
+// reproducible from a seed; the live goroutine runtime in
+// internal/transport exists to exercise the same station code under real
+// concurrency.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in abstract ticks. The paper's unit is T, the
+// one-way message latency; drivers conventionally use 1 tick = 1
+// microsecond-ish granularity and express T in ticks.
+type Time int64
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // insertion order; breaks ties → stable FIFO
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the event loop. Not safe for concurrent use: all event
+// callbacks run on the caller's goroutine, one at a time, which is what
+// makes runs deterministic.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	// Executed counts callbacks run; useful for progress watchdogs.
+	executed uint64
+}
+
+// NewEngine returns an engine at time 0 with an empty queue.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn at the absolute virtual time at. Scheduling in the past
+// panics: that is always a protocol-logic bug worth failing loudly on.
+func (e *Engine) At(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn delay ticks from now. Negative delays panic;
+// zero-delay events run after already-queued events at the current time.
+func (e *Engine) After(delay Time, fn func()) { e.At(e.now+delay, fn) }
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue is empty, Stop is called,
+// or the next event is later than until (which then becomes the current
+// time). It returns the number of events executed by this call.
+func (e *Engine) Run(until Time) uint64 {
+	e.stopped = false
+	start := e.executed
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at > until {
+			break
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.executed - start
+}
+
+// Step executes exactly one event if any is queued; it reports whether an
+// event ran. Useful for fine-grained tests.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Drain runs until the queue is empty or maxEvents callbacks have run,
+// whichever is first. It reports whether the queue emptied. Use it in
+// tests to reach quiescence with a runaway-loop backstop.
+func (e *Engine) Drain(maxEvents uint64) bool {
+	for i := uint64(0); i < maxEvents; i++ {
+		if !e.Step() {
+			return true
+		}
+	}
+	return len(e.events) == 0
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRunOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run(100)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %d, want 100 (run advances to until)", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run(10)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated at %d: %v", i, got)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(10, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	e.Run(100)
+	if at != 15 {
+		t.Fatalf("After fired at %d, want 15", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.Run(50)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.At(3, func() {})
+}
+
+func TestRunStopsAtUntil(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(100, func() { ran = true })
+	n := e.Run(50)
+	if ran || n != 0 {
+		t.Fatal("event beyond until must not run")
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now = %d, want 50", e.Now())
+	}
+	e.Run(100)
+	if !ran {
+		t.Fatal("event should run on later Run")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(100)
+	if count != 2 {
+		t.Fatalf("Stop did not halt run: count=%d", count)
+	}
+	e.Run(100)
+	if count != 5 {
+		t.Fatalf("resume failed: count=%d", count)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	e.At(1, func() { hits++ })
+	e.At(2, func() { hits++ })
+	if !e.Step() || hits != 1 {
+		t.Fatal("first step")
+	}
+	if !e.Step() || hits != 2 {
+		t.Fatal("second step")
+	}
+	if e.Step() {
+		t.Fatal("step on empty queue must return false")
+	}
+}
+
+func TestDrainBackstop(t *testing.T) {
+	e := NewEngine()
+	// Self-perpetuating event chain never empties the queue.
+	var loop func()
+	loop = func() { e.After(1, loop) }
+	e.At(0, loop)
+	if e.Drain(100) {
+		t.Fatal("Drain should report non-quiescence for a live-lock")
+	}
+	if e.Executed() != 100 {
+		t.Fatalf("Executed = %d, want 100", e.Executed())
+	}
+}
+
+func TestDrainQuiesces(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	if !e.Drain(1000) {
+		t.Fatal("Drain should reach quiescence")
+	}
+	if e.Pending() != 0 {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestEventsCascade(t *testing.T) {
+	// Events scheduled during Run at times <= until still run.
+	e := NewEngine()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 10 {
+			e.After(1, rec)
+		}
+	}
+	e.At(0, rec)
+	e.Run(100)
+	if depth != 10 {
+		t.Fatalf("cascade depth = %d, want 10", depth)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func(seed uint64) []uint64 {
+		r := NewRand(seed)
+		out := make([]uint64, 20)
+		for i := range out {
+			out[i] = r.Uint64()
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the stream")
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSubstreamsIndependent(t *testing.T) {
+	a := Substream(1, 0)
+	b := Substream(1, 1)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("adjacent substreams should decorrelate")
+	}
+}
+
+func TestIntnRangeAndPanic(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	r := NewRand(99)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	for i, c := range counts {
+		if c < draws/n*8/10 || c > draws/n*12/10 {
+			t.Fatalf("bucket %d count %d far from uniform %d", i, c, draws/n)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 1000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRand(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if mean < 0.97 || mean > 1.03 {
+		t.Fatalf("exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestExpTicksPositive(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if d := r.ExpTicks(0.01); d < 1 {
+			t.Fatalf("ExpTicks returned %d < 1", d)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := NewRand(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

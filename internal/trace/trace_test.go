@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chanset"
+	"repro/internal/hexgrid"
+)
+
+func checkerFixture(t *testing.T) (*hexgrid.Grid, map[hexgrid.CellID]chanset.Set, *InterferenceChecker) {
+	t.Helper()
+	g, err := hexgrid.New(hexgrid.Config{Shape: hexgrid.Rect, Width: 6, Height: 6, ReuseDistance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	use := map[hexgrid.CellID]chanset.Set{}
+	c := NewInterferenceChecker(g, func(id hexgrid.CellID) chanset.Set {
+		if s, ok := use[id]; ok {
+			return s
+		}
+		return chanset.Set{}
+	})
+	return g, use, c
+}
+
+func TestCheckerCleanGrid(t *testing.T) {
+	_, use, c := checkerFixture(t)
+	use[0] = chanset.SetOf(1)
+	use[35] = chanset.SetOf(1) // far corner: outside reuse distance
+	if err := c.CheckAll(); err != nil {
+		t.Fatalf("clean grid flagged: %v", err)
+	}
+}
+
+func TestCheckerDetectsViolation(t *testing.T) {
+	g, use, c := checkerFixture(t)
+	n := g.Interference(0)[0]
+	use[0] = chanset.SetOf(7)
+	use[n] = chanset.SetOf(7)
+	if err := c.CheckCell(0); err == nil {
+		t.Fatal("violation missed by CheckCell")
+	}
+	if err := c.CheckAll(); err == nil {
+		t.Fatal("violation missed by CheckAll")
+	}
+	if !strings.Contains(c.CheckCell(0).Error(), "{7}") {
+		t.Errorf("error should name the channel: %v", c.CheckCell(0))
+	}
+}
+
+func TestCheckerDifferentChannelsOK(t *testing.T) {
+	g, use, c := checkerFixture(t)
+	n := g.Interference(0)[0]
+	use[0] = chanset.SetOf(7)
+	use[n] = chanset.SetOf(8)
+	if err := c.CheckAll(); err != nil {
+		t.Fatalf("disjoint channels flagged: %v", err)
+	}
+}
+
+func TestWatchdogProgress(t *testing.T) {
+	var w Watchdog
+	w.Submitted(10)
+	if w.Outstanding() != 1 {
+		t.Fatal("outstanding should be 1")
+	}
+	if w.Stalled(15, 100) {
+		t.Fatal("not stalled yet")
+	}
+	if !w.Stalled(200, 100) {
+		t.Fatal("should be stalled after window with no progress")
+	}
+	w.Completed(205)
+	if w.Stalled(290, 100) {
+		t.Fatal("no outstanding work cannot stall")
+	}
+	if w.Completions() != 1 {
+		t.Fatal("completions should be 1")
+	}
+}
+
+func TestWatchdogResetOnNewWork(t *testing.T) {
+	var w Watchdog
+	w.Submitted(0)
+	w.Completed(5)
+	// Idle gap, then new work: the clock restarts at submit time.
+	w.Submitted(1000)
+	if w.Stalled(1050, 100) {
+		t.Fatal("fresh work should not inherit the idle gap")
+	}
+	if !w.Stalled(1200, 100) {
+		t.Fatal("should stall eventually")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k, s := range map[EventKind]string{
+		EvRequest: "request", EvGrant: "grant", EvDeny: "deny",
+		EvRelease: "release", EvMode: "mode",
+	} {
+		if k.String() != s {
+			t.Errorf("%d = %q, want %q", k, k.String(), s)
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(Event{At: 0, Kind: EvGrant, Cell: hexgrid.CellID(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	ev := r.Events()
+	if ev[0].Cell != 2 || ev[2].Cell != 4 {
+		t.Fatalf("eviction order wrong: %v", ev)
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(10)
+	r.Add(Event{Cell: 1})
+	r.Add(Event{Cell: 2})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Cell != 1 {
+		t.Fatalf("events = %v", ev)
+	}
+}
+
+func TestRingDump(t *testing.T) {
+	r := NewRing(4)
+	r.Add(Event{At: 5, Kind: EvDeny, Cell: 3, Ch: chanset.NoChannel, Info: 9})
+	d := r.Dump()
+	if !strings.Contains(d, "deny") || !strings.Contains(d, "info=9") {
+		t.Errorf("Dump = %q", d)
+	}
+}
+
+func TestRingBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRing(0)
+}

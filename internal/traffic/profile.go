@@ -1,0 +1,139 @@
+// Package traffic generates call workloads over a driver.Sim: Poisson
+// call arrivals with exponential holding times, spatial load profiles
+// (uniform, hot spot, ramp, moving hot spot), and mobility-driven
+// handoffs. It reports the telephony metrics the paper's motivation is
+// stated in: new-call blocking and handoff drop probabilities.
+package traffic
+
+import (
+	"repro/internal/hexgrid"
+	"repro/internal/sim"
+)
+
+// Profile gives the per-cell call arrival rate (calls per tick) as a
+// function of time. MaxRate bounds Rate over all times for the thinning
+// sampler.
+type Profile interface {
+	Rate(cell hexgrid.CellID, now sim.Time) float64
+	MaxRate(cell hexgrid.CellID) float64
+}
+
+// Uniform is a stationary, spatially uniform profile.
+type Uniform struct {
+	// PerCell is the arrival rate of every cell (calls per tick).
+	PerCell float64
+}
+
+// Rate implements Profile.
+func (u Uniform) Rate(hexgrid.CellID, sim.Time) float64 { return u.PerCell }
+
+// MaxRate implements Profile.
+func (u Uniform) MaxRate(hexgrid.CellID) float64 { return u.PerCell }
+
+// Hotspot overlays an elevated rate on a set of hot cells.
+type Hotspot struct {
+	// Base is the background per-cell rate.
+	Base float64
+	// Hot is the rate of hot cells.
+	Hot float64
+	// Cells are the hot cells.
+	Cells map[hexgrid.CellID]bool
+	// Start and End bound the hot interval; zero End means "forever".
+	Start, End sim.Time
+}
+
+// NewHotspot marks the cells within radius of center on grid as hot.
+func NewHotspot(grid *hexgrid.Grid, center hexgrid.CellID, radius int, base, hot float64) Hotspot {
+	cells := map[hexgrid.CellID]bool{center: true}
+	if radius > 0 {
+		for _, j := range grid.Interference(center) {
+			if hexgrid.Distance(grid.Pos(center), grid.Pos(j)) <= radius {
+				cells[j] = true
+			}
+		}
+	}
+	return Hotspot{Base: base, Hot: hot, Cells: cells}
+}
+
+// Rate implements Profile.
+func (h Hotspot) Rate(cell hexgrid.CellID, now sim.Time) float64 {
+	if !h.Cells[cell] {
+		return h.Base
+	}
+	if now < h.Start || (h.End > 0 && now >= h.End) {
+		return h.Base
+	}
+	return h.Hot
+}
+
+// MaxRate implements Profile.
+func (h Hotspot) MaxRate(cell hexgrid.CellID) float64 {
+	if h.Cells[cell] && h.Hot > h.Base {
+		return h.Hot
+	}
+	return h.Base
+}
+
+// Ramp linearly interpolates every cell's rate from From to To between
+// Start and End (constant outside).
+type Ramp struct {
+	From, To   float64
+	Start, End sim.Time
+}
+
+// Rate implements Profile.
+func (r Ramp) Rate(_ hexgrid.CellID, now sim.Time) float64 {
+	switch {
+	case now <= r.Start:
+		return r.From
+	case now >= r.End:
+		return r.To
+	default:
+		f := float64(now-r.Start) / float64(r.End-r.Start)
+		return r.From + f*(r.To-r.From)
+	}
+}
+
+// MaxRate implements Profile.
+func (r Ramp) MaxRate(hexgrid.CellID) float64 {
+	if r.To > r.From {
+		return r.To
+	}
+	return r.From
+}
+
+// MovingHotspot sweeps a hot cell across a path of cells, Dwell ticks
+// per stop, with Base elsewhere — the "temporary hot spots" of the
+// paper's abstract.
+type MovingHotspot struct {
+	Base, Hot float64
+	Path      []hexgrid.CellID
+	Dwell     sim.Time
+}
+
+// hotCell returns the currently hot cell.
+func (m MovingHotspot) hotCell(now sim.Time) hexgrid.CellID {
+	if len(m.Path) == 0 || m.Dwell <= 0 {
+		return hexgrid.None
+	}
+	idx := int(now/m.Dwell) % len(m.Path)
+	return m.Path[idx]
+}
+
+// Rate implements Profile.
+func (m MovingHotspot) Rate(cell hexgrid.CellID, now sim.Time) float64 {
+	if m.hotCell(now) == cell {
+		return m.Hot
+	}
+	return m.Base
+}
+
+// MaxRate implements Profile.
+func (m MovingHotspot) MaxRate(cell hexgrid.CellID) float64 {
+	for _, p := range m.Path {
+		if p == cell && m.Hot > m.Base {
+			return m.Hot
+		}
+	}
+	return m.Base
+}

@@ -1,0 +1,249 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chanset"
+	"repro/internal/driver"
+	"repro/internal/hexgrid"
+	"repro/internal/registry"
+	"repro/internal/sim"
+)
+
+func buildSim(t *testing.T, scheme string, channels int, seed uint64) *driver.Sim {
+	t.Helper()
+	g, err := hexgrid.New(hexgrid.Config{Shape: hexgrid.Rect, Width: 7, Height: 7, ReuseDistance: 2, Wrap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := chanset.Assign(g, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := registry.Build(scheme, g, assign, registry.Config{Latency: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return driver.New(g, assign, f, driver.Options{Latency: 10, Seed: seed, Check: true})
+}
+
+func TestUniformProfile(t *testing.T) {
+	u := Uniform{PerCell: 0.5}
+	if u.Rate(3, 100) != 0.5 || u.MaxRate(3) != 0.5 {
+		t.Fatal("uniform profile broken")
+	}
+}
+
+func TestHotspotProfileWindows(t *testing.T) {
+	h := Hotspot{Base: 0.1, Hot: 2, Cells: map[hexgrid.CellID]bool{5: true}, Start: 100, End: 200}
+	if h.Rate(5, 50) != 0.1 {
+		t.Error("before start must be base")
+	}
+	if h.Rate(5, 150) != 2 {
+		t.Error("inside window must be hot")
+	}
+	if h.Rate(5, 200) != 0.1 {
+		t.Error("after end must be base")
+	}
+	if h.Rate(6, 150) != 0.1 {
+		t.Error("cold cell must be base")
+	}
+	if h.MaxRate(5) != 2 || h.MaxRate(6) != 0.1 {
+		t.Error("MaxRate wrong")
+	}
+	forever := Hotspot{Base: 0.1, Hot: 2, Cells: map[hexgrid.CellID]bool{5: true}}
+	if forever.Rate(5, 1e9) != 2 {
+		t.Error("zero End means forever")
+	}
+}
+
+func TestNewHotspotRadius(t *testing.T) {
+	g := hexgrid.MustNew(hexgrid.Config{Shape: hexgrid.Rect, Width: 7, Height: 7, ReuseDistance: 2, Wrap: true})
+	center := g.InteriorCell()
+	h := NewHotspot(g, center, 1, 0.1, 1)
+	if len(h.Cells) != 7 {
+		t.Fatalf("radius-1 hotspot should cover 7 cells, got %d", len(h.Cells))
+	}
+	h0 := NewHotspot(g, center, 0, 0.1, 1)
+	if len(h0.Cells) != 1 {
+		t.Fatalf("radius-0 hotspot should cover 1 cell, got %d", len(h0.Cells))
+	}
+}
+
+func TestRampProfile(t *testing.T) {
+	r := Ramp{From: 0, To: 10, Start: 100, End: 200}
+	if r.Rate(0, 0) != 0 || r.Rate(0, 100) != 0 {
+		t.Error("before ramp")
+	}
+	if got := r.Rate(0, 150); math.Abs(got-5) > 1e-9 {
+		t.Errorf("midpoint = %v", got)
+	}
+	if r.Rate(0, 500) != 10 {
+		t.Error("after ramp")
+	}
+	if r.MaxRate(0) != 10 {
+		t.Error("MaxRate")
+	}
+	down := Ramp{From: 8, To: 2, Start: 0, End: 10}
+	if down.MaxRate(0) != 8 {
+		t.Error("down-ramp MaxRate")
+	}
+}
+
+func TestMovingHotspot(t *testing.T) {
+	m := MovingHotspot{Base: 0.1, Hot: 3, Path: []hexgrid.CellID{1, 2, 3}, Dwell: 100}
+	if m.Rate(1, 50) != 3 || m.Rate(2, 50) != 0.1 {
+		t.Error("first dwell")
+	}
+	if m.Rate(2, 150) != 3 || m.Rate(1, 150) != 0.1 {
+		t.Error("second dwell")
+	}
+	if m.Rate(1, 350) != 3 {
+		t.Error("wraps around path")
+	}
+	if m.MaxRate(2) != 3 || m.MaxRate(9) != 0.1 {
+		t.Error("MaxRate")
+	}
+	empty := MovingHotspot{Base: 0.1, Hot: 3}
+	if empty.Rate(1, 0) != 0.1 {
+		t.Error("empty path is all base")
+	}
+}
+
+func TestRunRejectsBadSpec(t *testing.T) {
+	s := buildSim(t, "fixed", 35, 1)
+	if _, err := Run(s, Spec{}); err == nil {
+		t.Fatal("empty spec must be rejected")
+	}
+}
+
+func TestRunUniformLowLoadFewBlocks(t *testing.T) {
+	s := buildSim(t, "adaptive", 70, 2)
+	// Offered load per cell: rate * hold = 0.0002 * 5000 = 1 Erlang
+	// against ~10 primaries — negligible blocking.
+	st, err := Run(s, Spec{
+		Profile:  Uniform{PerCell: 0.0002},
+		MeanHold: 5000,
+		Duration: 200_000,
+		Warmup:   20_000,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Offered < 500 {
+		t.Fatalf("offered only %d calls — generator too slow", st.Offered)
+	}
+	if bp := st.BlockingProbability(); bp > 0.01 {
+		t.Fatalf("low-load blocking %v too high", bp)
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHighLoadBlocksFixed(t *testing.T) {
+	s := buildSim(t, "fixed", 35, 3)
+	// ~4 Erlang per cell against 5 primaries → visible Erlang-B blocking.
+	st, err := Run(s, Spec{
+		Profile:  Uniform{PerCell: 0.001},
+		MeanHold: 4000,
+		Duration: 150_000,
+		Warmup:   15_000,
+		Seed:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp := st.BlockingProbability(); bp < 0.05 {
+		t.Fatalf("expected visible blocking at 4 Erlang over 5 channels, got %v", bp)
+	}
+}
+
+func TestArrivalRateMatchesProfile(t *testing.T) {
+	s := buildSim(t, "fixed", 35, 4)
+	const rate, duration = 0.001, 300_000.0
+	st, err := Run(s, Spec{
+		Profile:  Uniform{PerCell: rate},
+		MeanHold: 100, // short calls: blocking-free counting
+		Duration: sim.Time(duration),
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rate * duration * 49 // 49 cells
+	got := float64(st.Offered)
+	if got < want*0.9 || got > want*1.1 {
+		t.Fatalf("offered %v, want ~%v", got, want)
+	}
+}
+
+func TestHotspotConcentratesLoad(t *testing.T) {
+	s := buildSim(t, "adaptive", 70, 5)
+	center := s.Grid().InteriorCell()
+	st, err := Run(s, Spec{
+		Profile:  NewHotspot(s.Grid(), center, 0, 0.00005, 0.002),
+		MeanHold: 3000,
+		Duration: 150_000,
+		Seed:     10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := st.PerCellOffered[center]
+	var rest, cold uint64
+	for i, o := range st.PerCellOffered {
+		if hexgrid.CellID(i) != center {
+			rest += o
+			cold++
+		}
+	}
+	avgCold := float64(rest) / float64(cold)
+	if float64(hot) < 10*avgCold {
+		t.Fatalf("hotspot cell offered %d, cold average %v — not concentrated", hot, avgCold)
+	}
+}
+
+func TestHandoffsHappenAndAreCounted(t *testing.T) {
+	s := buildSim(t, "adaptive", 70, 6)
+	st, err := Run(s, Spec{
+		Profile:     Uniform{PerCell: 0.0002},
+		MeanHold:    5000,
+		HandoffRate: 0.0005, // expect ~2.5 handoffs per call
+		Duration:    100_000,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HandoffAttempts == 0 {
+		t.Fatal("no handoffs generated")
+	}
+	if st.HandoffAttempts < st.Offered {
+		t.Fatalf("expected > 1 handoff per call on average: %d attempts for %d calls",
+			st.HandoffAttempts, st.Offered)
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrantRatiosAndWarmup(t *testing.T) {
+	st := Stats{
+		Offered: 10, Blocked: 5,
+		PerCellOffered: []uint64{10, 0, 4},
+		PerCellBlocked: []uint64{5, 0, 1},
+	}
+	r := st.GrantRatios()
+	if r[0] != 0.5 || r[1] != 1 || r[2] != 0.75 {
+		t.Fatalf("ratios = %v", r)
+	}
+	if st.BlockingProbability() != 0.5 {
+		t.Fatal("blocking probability")
+	}
+	if (Stats{}).BlockingProbability() != 0 || (Stats{}).HandoffDropProbability() != 0 {
+		t.Fatal("empty stats must not divide by zero")
+	}
+}

@@ -1,0 +1,185 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/chanset"
+
+	"repro/internal/driver"
+	"repro/internal/hexgrid"
+	"repro/internal/sim"
+)
+
+// Spec describes one workload run.
+type Spec struct {
+	// Profile gives per-cell arrival rates.
+	Profile Profile
+	// MeanHold is the mean call duration in ticks (exponential).
+	MeanHold float64
+	// HandoffRate is the per-call rate (events per tick) of moving to
+	// an adjacent cell; 0 disables mobility.
+	HandoffRate float64
+	// Duration is when arrivals stop; held calls then drain.
+	Duration sim.Time
+	// Warmup excludes the initial transient from the statistics.
+	Warmup sim.Time
+	// Seed drives arrival, holding and mobility randomness.
+	Seed uint64
+}
+
+// Stats are the telephony-level outcomes of a workload run (measured
+// after warmup).
+type Stats struct {
+	// Offered counts new-call arrivals; Blocked those denied a channel.
+	Offered, Blocked uint64
+	// HandoffAttempts counts cell-boundary crossings by active calls;
+	// HandoffDrops those that found no channel in the new cell.
+	HandoffAttempts, HandoffDrops uint64
+	// PerCellOffered/PerCellBlocked break blocking down by cell.
+	PerCellOffered, PerCellBlocked []uint64
+}
+
+// BlockingProbability is Blocked / Offered.
+func (st Stats) BlockingProbability() float64 {
+	if st.Offered == 0 {
+		return 0
+	}
+	return float64(st.Blocked) / float64(st.Offered)
+}
+
+// HandoffDropProbability is HandoffDrops / HandoffAttempts.
+func (st Stats) HandoffDropProbability() float64 {
+	if st.HandoffAttempts == 0 {
+		return 0
+	}
+	return float64(st.HandoffDrops) / float64(st.HandoffAttempts)
+}
+
+// GrantRatios returns the per-cell fraction of offered calls served
+// (input to the Jain fairness index). Cells with no offered calls
+// report 1.
+func (st Stats) GrantRatios() []float64 {
+	out := make([]float64, len(st.PerCellOffered))
+	for i := range out {
+		if st.PerCellOffered[i] == 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = 1 - float64(st.PerCellBlocked[i])/float64(st.PerCellOffered[i])
+	}
+	return out
+}
+
+// Run drives the workload over s to completion (arrivals stop at
+// Duration, held calls drain afterwards) and returns the stats.
+func Run(s *driver.Sim, spec Spec) (Stats, error) {
+	if spec.Profile == nil || spec.MeanHold <= 0 || spec.Duration <= 0 {
+		return Stats{}, fmt.Errorf("traffic: spec needs Profile, MeanHold and Duration: %+v", spec)
+	}
+	n := s.Grid().NumCells()
+	st := Stats{
+		PerCellOffered: make([]uint64, n),
+		PerCellBlocked: make([]uint64, n),
+	}
+	g := &generator{sim: s, spec: spec, stats: &st}
+	for i := 0; i < n; i++ {
+		cell := hexgrid.CellID(i)
+		g.scheduleArrival(cell, sim.Substream(spec.Seed, 0x7a0+uint64(i)))
+	}
+	// Run until well past Duration so calls drain; the queue empties
+	// once no arrivals are scheduled and all calls released.
+	if !s.Drain(2_000_000_000) {
+		return st, fmt.Errorf("traffic: simulation did not quiesce")
+	}
+	if s.Outstanding() != 0 {
+		return st, fmt.Errorf("traffic: %d requests still outstanding after drain", s.Outstanding())
+	}
+	return st, nil
+}
+
+type generator struct {
+	sim   *driver.Sim
+	spec  Spec
+	stats *Stats
+}
+
+// scheduleArrival plants the next candidate arrival for cell using
+// thinning (non-homogeneous Poisson sampling).
+func (g *generator) scheduleArrival(cell hexgrid.CellID, rng *sim.Rand) {
+	e := g.sim.Engine()
+	maxRate := g.spec.Profile.MaxRate(cell)
+	if maxRate <= 0 {
+		return
+	}
+	gap := rng.ExpTicks(1 / maxRate)
+	at := e.Now() + gap
+	if at > g.spec.Duration {
+		return // arrivals stop; this cell's stream ends
+	}
+	e.At(at, func() {
+		// Thinning: accept the candidate with probability rate/maxRate.
+		if rng.Float64()*maxRate <= g.spec.Profile.Rate(cell, e.Now()) {
+			g.newCall(cell, rng)
+		}
+		g.scheduleArrival(cell, rng)
+	})
+}
+
+// newCall submits a channel request and, when granted, schedules the
+// call lifecycle (handoffs and final release).
+func (g *generator) newCall(cell hexgrid.CellID, rng *sim.Rand) {
+	e := g.sim.Engine()
+	now := e.Now()
+	measured := now >= g.spec.Warmup
+	if measured {
+		g.stats.Offered++
+		g.stats.PerCellOffered[cell]++
+	}
+	remaining := rng.ExpTicks(g.spec.MeanHold)
+	g.sim.Request(cell, func(r driver.Result) {
+		if !r.Granted {
+			if measured {
+				g.stats.Blocked++
+				g.stats.PerCellBlocked[cell]++
+			}
+			return
+		}
+		g.continueCall(r.Cell, r.Ch, remaining, measured, rng)
+	})
+}
+
+// continueCall runs one leg of a call in one cell: either the call ends
+// here (release) or it hands off to a neighbor first.
+func (g *generator) continueCall(cell hexgrid.CellID, ch chanset.Channel, remaining sim.Time, measured bool, rng *sim.Rand) {
+	e := g.sim.Engine()
+	var handoffIn sim.Time
+	if g.spec.HandoffRate > 0 {
+		handoffIn = rng.ExpTicks(1 / g.spec.HandoffRate)
+	}
+	if g.spec.HandoffRate > 0 && handoffIn < remaining {
+		adj := g.sim.Grid().Adjacent(cell)
+		if len(adj) > 0 {
+			next := adj[rng.Intn(len(adj))]
+			e.After(handoffIn, func() {
+				if measured && e.Now() >= g.spec.Warmup {
+					g.stats.HandoffAttempts++
+				}
+				left := remaining - handoffIn
+				// Make-before-break: acquire in the new cell, then
+				// release the old channel either way.
+				g.sim.Request(next, func(r driver.Result) {
+					g.sim.Release(cell, ch)
+					if !r.Granted {
+						if measured && e.Now() >= g.spec.Warmup {
+							g.stats.HandoffDrops++
+						}
+						return
+					}
+					g.continueCall(r.Cell, r.Ch, left, measured, rng)
+				})
+			})
+			return
+		}
+	}
+	e.After(remaining, func() { g.sim.Release(cell, ch) })
+}

@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/hexgrid"
+	"repro/internal/message"
+	"repro/internal/sim"
+)
+
+// DES is the deterministic transport: messages are delivered on the
+// discrete-event engine after the configured latency. With zero jitter,
+// equal latency plus the engine's stable tie-break gives per-link FIFO
+// for free; with jitter, FIFO is enforced explicitly by never scheduling
+// a delivery before the previous one on the same link.
+type DES struct {
+	engine   *sim.Engine
+	latency  sim.Time
+	jitter   sim.Time // uniform extra delay in [0, jitter]
+	rand     *sim.Rand
+	handlers map[hexgrid.CellID]Handler
+	lastAt   map[linkKey]sim.Time
+	stats    Stats
+	// wire, when set, routes every message through the binary codec
+	// (encode on send, decode on delivery) — catching serialization
+	// bugs against live protocol traffic and accounting wire bytes.
+	wire    bool
+	wireBuf []byte
+}
+
+// EnableWire turns on codec round-tripping and byte accounting.
+func (d *DES) EnableWire() { d.wire = true }
+
+type linkKey struct {
+	from, to hexgrid.CellID
+}
+
+// NewDES builds a DES transport with one-way latency T (ticks) and
+// uniform jitter in [0, jitter]. A zero-latency transport is allowed for
+// unit tests. rand may be nil when jitter is zero.
+func NewDES(engine *sim.Engine, latency, jitter sim.Time, rand *sim.Rand) *DES {
+	if latency < 0 || jitter < 0 {
+		panic(fmt.Sprintf("transport: negative latency %d / jitter %d", latency, jitter))
+	}
+	if jitter > 0 && rand == nil {
+		panic("transport: jitter requires a random stream")
+	}
+	return &DES{
+		engine:   engine,
+		latency:  latency,
+		jitter:   jitter,
+		rand:     rand,
+		handlers: make(map[hexgrid.CellID]Handler),
+		lastAt:   make(map[linkKey]sim.Time),
+	}
+}
+
+// Latency returns the base one-way latency T.
+func (d *DES) Latency() sim.Time { return d.latency }
+
+// Attach implements Transport.
+func (d *DES) Attach(id hexgrid.CellID, h Handler) { d.handlers[id] = h }
+
+// Send implements Transport.
+func (d *DES) Send(m message.Message) {
+	h, ok := d.handlers[m.To]
+	if !ok {
+		panic(fmt.Sprintf("transport: send to unattached cell %d: %v", m.To, m))
+	}
+	d.stats.count(m)
+	if d.wire {
+		d.wireBuf = message.Encode(d.wireBuf[:0], m)
+		d.stats.Bytes += uint64(len(d.wireBuf))
+		decoded, n, err := message.Decode(d.wireBuf)
+		if err != nil || n != len(d.wireBuf) {
+			panic(fmt.Sprintf("transport: codec round trip failed for %v: %v", m, err))
+		}
+		m = decoded
+	}
+	at := d.engine.Now() + d.latency
+	if d.jitter > 0 {
+		at += sim.Time(d.rand.Intn(int(d.jitter) + 1))
+		key := linkKey{m.From, m.To}
+		if last := d.lastAt[key]; at < last {
+			at = last // preserve FIFO on the link
+		}
+		d.lastAt[key] = at
+	}
+	d.engine.At(at, func() { h.Handle(m) })
+}
+
+// Stats implements Transport.
+func (d *DES) Stats() Stats { return d.stats }

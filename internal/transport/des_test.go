@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/chanset"
+	"repro/internal/hexgrid"
+	"repro/internal/message"
+	"repro/internal/sim"
+)
+
+type recorder struct {
+	at   []sim.Time
+	msgs []message.Message
+	e    *sim.Engine
+}
+
+func (r *recorder) Handle(m message.Message) {
+	r.at = append(r.at, r.e.Now())
+	r.msgs = append(r.msgs, m)
+}
+
+func TestDESDeliversAfterLatency(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewDES(e, 10, 0, nil)
+	rec := &recorder{e: e}
+	tr.Attach(2, rec)
+	e.At(5, func() {
+		tr.Send(message.Message{Kind: message.Release, From: 1, To: 2, Ch: 3})
+	})
+	e.Run(1000)
+	if len(rec.msgs) != 1 {
+		t.Fatalf("delivered %d messages", len(rec.msgs))
+	}
+	if rec.at[0] != 15 {
+		t.Fatalf("delivered at %d, want 15", rec.at[0])
+	}
+	if rec.msgs[0].Ch != 3 {
+		t.Fatalf("payload mangled: %+v", rec.msgs[0])
+	}
+}
+
+func TestDESFIFOFixedLatency(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewDES(e, 7, 0, nil)
+	rec := &recorder{e: e}
+	tr.Attach(1, rec)
+	e.At(0, func() {
+		for i := 0; i < 20; i++ {
+			tr.Send(message.Message{Kind: message.Request, From: 0, To: 1, Ch: chanset.Channel(i)})
+		}
+	})
+	e.Run(1000)
+	for i, m := range rec.msgs {
+		if int(m.Ch) != i {
+			t.Fatalf("FIFO violated: slot %d got ch %d", i, m.Ch)
+		}
+	}
+}
+
+func TestDESFIFOWithJitter(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewDES(e, 5, 9, sim.NewRand(123))
+	rec := &recorder{e: e}
+	tr.Attach(1, rec)
+	const n = 200
+	for i := 0; i < n; i++ {
+		i := i
+		e.At(sim.Time(i), func() {
+			tr.Send(message.Message{Kind: message.Request, From: 0, To: 1, Ch: chanset.Channel(i)})
+		})
+	}
+	e.Run(100000)
+	if len(rec.msgs) != n {
+		t.Fatalf("delivered %d of %d", len(rec.msgs), n)
+	}
+	for i, m := range rec.msgs {
+		if int(m.Ch) != i {
+			t.Fatalf("jittered FIFO violated at %d: ch %d", i, m.Ch)
+		}
+	}
+	// Deliveries must never be earlier than base latency.
+	for i, at := range rec.at {
+		if at < sim.Time(i)+5 {
+			t.Fatalf("message %d delivered at %d, before send+latency", i, at)
+		}
+	}
+}
+
+func TestDESJitterSpreadsDeliveries(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewDES(e, 5, 20, sim.NewRand(7))
+	rec := &recorder{e: e}
+	tr.Attach(1, rec)
+	// Different links → jitter independent, so arrival times vary.
+	for i := 0; i < 50; i++ {
+		i := i
+		e.At(0, func() {
+			tr.Send(message.Message{Kind: message.Request, From: hexgrid.CellID(100 + i), To: 1})
+		})
+	}
+	e.Run(1000)
+	distinct := map[sim.Time]bool{}
+	for _, at := range rec.at {
+		distinct[at] = true
+	}
+	if len(distinct) < 5 {
+		t.Fatalf("jitter produced only %d distinct arrival times", len(distinct))
+	}
+}
+
+func TestDESStats(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewDES(e, 1, 0, nil)
+	tr.Attach(1, HandlerFunc(func(message.Message) {}))
+	kinds := []message.Kind{message.Request, message.Request, message.Response, message.Release}
+	e.At(0, func() {
+		for _, k := range kinds {
+			tr.Send(message.Message{Kind: k, From: 0, To: 1})
+		}
+	})
+	e.Run(100)
+	st := tr.Stats()
+	if st.Total != 4 {
+		t.Fatalf("Total = %d", st.Total)
+	}
+	if st.ByKind[message.Request] != 2 || st.ByKind[message.Response] != 1 || st.ByKind[message.Release] != 1 {
+		t.Fatalf("ByKind = %v", st.ByKind)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	var a, b Stats
+	a.Total = 3
+	a.ByKind[message.Request] = 3
+	b.Total = 2
+	b.ByKind[message.Release] = 2
+	a.Add(b)
+	if a.Total != 5 || a.ByKind[message.Request] != 3 || a.ByKind[message.Release] != 2 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestDESSendToUnattachedPanics(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewDES(e, 1, 0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Send(message.Message{To: 99})
+}
+
+func TestDESBadConfigPanics(t *testing.T) {
+	e := sim.NewEngine()
+	for _, fn := range []func(){
+		func() { NewDES(e, -1, 0, nil) },
+		func() { NewDES(e, 1, -1, nil) },
+		func() { NewDES(e, 1, 5, nil) }, // jitter without rand
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,202 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hexgrid"
+	"repro/internal/message"
+)
+
+// Live is the concurrent transport: one goroutine per station drains a
+// mailbox of closures, so each station's handler runs strictly
+// serially while different stations run in parallel — one goroutine per
+// base station, exactly the system model of the paper.
+//
+// Per-link FIFO: with zero Delay, senders enqueue directly into the
+// receiver's mailbox, so program order on the sender is delivery order.
+// With a positive Delay, each (from, to) link gets a dedicated pipeline
+// goroutine that sleeps Delay per message, preserving FIFO exactly.
+type Live struct {
+	delay    time.Duration
+	capacity int
+
+	mu       sync.Mutex
+	boxes    map[hexgrid.CellID]chan func()
+	handlers map[hexgrid.CellID]Handler
+	links    map[linkKey]chan message.Message
+	started  bool
+	wg       sync.WaitGroup
+	linkWG   sync.WaitGroup
+
+	inflight atomic.Int64 // enqueued-but-unprocessed closures + link queue
+	total    atomic.Uint64
+	byKind   [message.NumKinds]atomic.Uint64
+}
+
+// NewLive creates a live transport. delay is the modeled one-way message
+// latency in wall time (0 = direct delivery); capacity sizes each
+// station's mailbox.
+func NewLive(delay time.Duration, capacity int) *Live {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Live{
+		delay:    delay,
+		capacity: capacity,
+		boxes:    make(map[hexgrid.CellID]chan func()),
+		handlers: make(map[hexgrid.CellID]Handler),
+		links:    make(map[linkKey]chan message.Message),
+	}
+}
+
+// Attach implements Transport. Must be called before Start.
+func (l *Live) Attach(id hexgrid.CellID, h Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.started {
+		panic("transport: Attach after Start")
+	}
+	l.handlers[id] = h
+	l.boxes[id] = make(chan func(), l.capacity)
+}
+
+// Start launches one goroutine per attached station.
+func (l *Live) Start() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.started {
+		panic("transport: double Start")
+	}
+	l.started = true
+	for _, box := range l.boxes {
+		box := box
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			for fn := range box {
+				fn()
+				l.inflight.Add(-1)
+			}
+		}()
+	}
+}
+
+// Stop drains and terminates all station goroutines. No Send or Do may
+// race with Stop.
+func (l *Live) Stop() {
+	l.mu.Lock()
+	if !l.started {
+		l.mu.Unlock()
+		return
+	}
+	for _, link := range l.links {
+		close(link)
+	}
+	l.mu.Unlock()
+	l.linkWG.Wait()
+	l.mu.Lock()
+	for _, box := range l.boxes {
+		close(box)
+	}
+	l.started = false
+	l.mu.Unlock()
+	l.wg.Wait()
+}
+
+// Do runs fn on the station goroutine of cell (serialized with its
+// message handling).
+func (l *Live) Do(cell hexgrid.CellID, fn func()) {
+	l.mu.Lock()
+	box, ok := l.boxes[cell]
+	l.mu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("transport: Do on unattached cell %d", cell))
+	}
+	l.inflight.Add(1)
+	box <- fn
+}
+
+// Send implements Transport.
+func (l *Live) Send(m message.Message) {
+	l.total.Add(1)
+	if int(m.Kind) < len(l.byKind) {
+		l.byKind[m.Kind].Add(1)
+	}
+	if l.delay <= 0 {
+		l.deliver(m)
+		return
+	}
+	l.inflight.Add(1)
+	l.link(m.From, m.To) <- m
+}
+
+func (l *Live) deliver(m message.Message) {
+	l.mu.Lock()
+	h, ok := l.handlers[m.To]
+	box := l.boxes[m.To]
+	l.mu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("transport: send to unattached cell %d: %v", m.To, m))
+	}
+	l.inflight.Add(1)
+	box <- func() { h.Handle(m) }
+}
+
+// link returns (lazily creating) the FIFO pipeline for one ordered pair.
+func (l *Live) link(from, to hexgrid.CellID) chan message.Message {
+	key := linkKey{from, to}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ch, ok := l.links[key]
+	if !ok {
+		ch = make(chan message.Message, l.capacity)
+		l.links[key] = ch
+		l.linkWG.Add(1)
+		go func() {
+			defer l.linkWG.Done()
+			for m := range ch {
+				time.Sleep(l.delay)
+				l.deliver(m)
+				l.inflight.Add(-1)
+			}
+		}()
+	}
+	return ch
+}
+
+// Idle reports whether no message or closure is queued or in flight.
+func (l *Live) Idle() bool { return l.inflight.Load() == 0 }
+
+// WaitIdle polls until the transport is idle or the timeout elapses;
+// it reports whether idleness was reached. Idle here means "no queued
+// work" — callers must separately track application-level outstanding
+// requests.
+func (l *Live) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if l.Idle() {
+			// Double-check after a settle pause: a handler may have
+			// been mid-execution about to enqueue more work.
+			time.Sleep(200 * time.Microsecond)
+			if l.Idle() {
+				return true
+			}
+			continue
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return l.Idle()
+}
+
+// Stats implements Transport.
+func (l *Live) Stats() Stats {
+	var s Stats
+	s.Total = l.total.Load()
+	for i := range s.ByKind {
+		s.ByKind[i] = l.byKind[i].Load()
+	}
+	return s
+}

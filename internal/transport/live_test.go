@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chanset"
+	"repro/internal/message"
+)
+
+func TestLiveDeliversAndCounts(t *testing.T) {
+	l := NewLive(0, 16)
+	var got atomic.Int64
+	l.Attach(1, HandlerFunc(func(m message.Message) { got.Add(1) }))
+	l.Start()
+	defer l.Stop()
+	for i := 0; i < 20; i++ {
+		l.Send(message.Message{Kind: message.Request, From: 0, To: 1})
+	}
+	if !l.WaitIdle(5 * time.Second) {
+		t.Fatal("not idle")
+	}
+	if got.Load() != 20 {
+		t.Fatalf("delivered %d of 20", got.Load())
+	}
+	st := l.Stats()
+	if st.Total != 20 || st.ByKind[message.Request] != 20 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestLivePerStationSerialization(t *testing.T) {
+	// Handlers of ONE station must never run concurrently.
+	l := NewLive(0, 256)
+	var inside atomic.Int32
+	var maxSeen atomic.Int32
+	l.Attach(1, HandlerFunc(func(message.Message) {
+		v := inside.Add(1)
+		if v > maxSeen.Load() {
+			maxSeen.Store(v)
+		}
+		time.Sleep(50 * time.Microsecond)
+		inside.Add(-1)
+	}))
+	l.Start()
+	defer l.Stop()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				l.Send(message.Message{Kind: message.Release, From: 0, To: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if !l.WaitIdle(10 * time.Second) {
+		t.Fatal("not idle")
+	}
+	if maxSeen.Load() != 1 {
+		t.Fatalf("handler concurrency observed: %d", maxSeen.Load())
+	}
+}
+
+func TestLiveFIFOWithDelay(t *testing.T) {
+	l := NewLive(100*time.Microsecond, 256)
+	var mu sync.Mutex
+	var order []int
+	l.Attach(1, HandlerFunc(func(m message.Message) {
+		mu.Lock()
+		order = append(order, int(m.Ch))
+		mu.Unlock()
+	}))
+	l.Start()
+	defer l.Stop()
+	for i := 0; i < 30; i++ {
+		l.Send(message.Message{Kind: message.Request, From: 0, To: 1, Ch: chanset.Channel(i)})
+	}
+	if !l.WaitIdle(10 * time.Second) {
+		t.Fatal("not idle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("delayed link broke FIFO at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestLiveDoRunsOnStationGoroutine(t *testing.T) {
+	l := NewLive(0, 16)
+	l.Attach(2, HandlerFunc(func(message.Message) {}))
+	l.Start()
+	defer l.Stop()
+	done := make(chan int, 1)
+	l.Do(2, func() { done <- 42 })
+	select {
+	case v := <-done:
+		if v != 42 {
+			t.Fatal("wrong value")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do never ran")
+	}
+}
+
+func TestLiveMisusePanics(t *testing.T) {
+	l := NewLive(0, 4)
+	l.Attach(1, HandlerFunc(func(message.Message) {}))
+	l.Start()
+	defer l.Stop()
+	for name, fn := range map[string]func(){
+		"attach-after-start": func() { l.Attach(9, HandlerFunc(func(message.Message) {})) },
+		"double-start":       func() { l.Start() },
+		"do-unattached":      func() { l.Do(99, func() {}) },
+		"send-unattached":    func() { l.Send(message.Message{To: 99}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLiveStopIdempotent(t *testing.T) {
+	l := NewLive(0, 4)
+	l.Attach(1, HandlerFunc(func(message.Message) {}))
+	l.Start()
+	l.Stop()
+	l.Stop() // second stop is a no-op
+}

@@ -1,0 +1,68 @@
+// Package transport delivers control messages between mobile service
+// stations. Two implementations share one interface:
+//
+//   - DES: deterministic delivery on the discrete-event engine with a
+//     fixed (optionally jittered) one-way latency T, per-link FIFO.
+//   - Live: one goroutine per station with channel mailboxes and real
+//     (scaled) delays — the "goroutines are base stations" runtime used
+//     to shake out ordering assumptions under true concurrency.
+//
+// Both count traffic by message kind so experiments can report the
+// paper's message-complexity metric.
+package transport
+
+import (
+	"repro/internal/hexgrid"
+	"repro/internal/message"
+)
+
+// Handler consumes messages addressed to one station.
+type Handler interface {
+	Handle(m message.Message)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(message.Message)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(m message.Message) { f(m) }
+
+// Transport routes messages between attached stations.
+type Transport interface {
+	// Attach registers the handler for cell id. Must be called for
+	// every cell before the first Send to it.
+	Attach(id hexgrid.CellID, h Handler)
+	// Send delivers m to m.To asynchronously. Reliable, FIFO per
+	// (From, To) pair.
+	Send(m message.Message)
+	// Stats returns a snapshot of traffic counters.
+	Stats() Stats
+}
+
+// Stats is the traffic accounting every experiment reports.
+type Stats struct {
+	// Total messages sent.
+	Total uint64
+	// Bytes is the wire volume (populated when the transport encodes
+	// messages; zero for struct-passing transports).
+	Bytes uint64
+	// ByKind counts messages per message.Kind.
+	ByKind [message.NumKinds]uint64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Total += o.Total
+	s.Bytes += o.Bytes
+	for i := range s.ByKind {
+		s.ByKind[i] += o.ByKind[i]
+	}
+}
+
+// count records one sent message (shared by implementations).
+func (s *Stats) count(m message.Message) {
+	s.Total++
+	if int(m.Kind) < len(s.ByKind) {
+		s.ByKind[m.Kind]++
+	}
+}
