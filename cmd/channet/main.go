@@ -4,7 +4,13 @@
 // control message between cells on different nodes crosses a real
 // socket through the binary codec.
 //
+// The signaling plane can be degraded with -drop/-dup/-reorder/-jitter;
+// a sequence-numbered ack/retransmit layer then restores the
+// reliable-FIFO contract, and -timeout bounds each request's lifetime
+// so a wedged link becomes a counted denial instead of a hang.
+//
 //	channet -nodes 4 -calls 40
+//	channet -drop 0.02 -dup 0.01 -jitter 200us -timeout 10s
 package main
 
 import (
@@ -16,16 +22,24 @@ import (
 
 	"repro/internal/chanset"
 	"repro/internal/hexgrid"
+	"repro/internal/metrics"
 	"repro/internal/netrun"
 	"repro/internal/registry"
+	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		nNodes = flag.Int("nodes", 4, "number of TCP nodes to partition the cells across")
-		calls  = flag.Int("calls", 40, "concurrent calls to place in one interference region")
-		chans  = flag.Int("channels", 21, "spectrum size (21 = 3 primaries per cell)")
-		scheme = flag.String("scheme", "adaptive", "allocation scheme")
+		nNodes  = flag.Int("nodes", 4, "number of TCP nodes to partition the cells across")
+		calls   = flag.Int("calls", 40, "concurrent calls to place in one interference region")
+		chans   = flag.Int("channels", 21, "spectrum size (21 = 3 primaries per cell)")
+		scheme  = flag.String("scheme", "adaptive", "allocation scheme")
+		drop    = flag.Float64("drop", 0, "per-message drop probability injected at each node")
+		dup     = flag.Float64("dup", 0, "per-message duplication probability")
+		reorder = flag.Float64("reorder", 0, "per-message reordering probability")
+		jitter  = flag.Duration("jitter", 0, "max extra per-message latency (uniform in [0, jitter])")
+		seed    = flag.Uint64("seed", 1, "fault-injection seed")
+		timeout = flag.Duration("timeout", 15*time.Second, "per-request deadline (0 disables the watchdog)")
 	)
 	flag.Parse()
 
@@ -41,6 +55,20 @@ func main() {
 		os.Exit(1)
 	}
 
+	var fault *transport.FaultConfig
+	if *drop > 0 || *dup > 0 || *reorder > 0 || *jitter > 0 {
+		fault = &transport.FaultConfig{
+			Seed: *seed, Drop: *drop, Duplicate: *dup, Reorder: *reorder,
+			JitterMax: *jitter,
+		}
+		if err := fault.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("fault model: drop=%.3f dup=%.3f reorder=%.3f jitter≤%v (seed %d), reliability layer on\n",
+			*drop, *dup, *reorder, *jitter, *seed)
+	}
+
 	parts := make([][]hexgrid.CellID, *nNodes)
 	owner := make(map[hexgrid.CellID]int)
 	for c := 0; c < grid.NumCells(); c++ {
@@ -49,9 +77,16 @@ func main() {
 	}
 	nodes := make([]*netrun.Node, *nNodes)
 	for i := range nodes {
-		n, err := netrun.NewNode(grid, assign, factory, "127.0.0.1:0", netrun.Config{
+		cfg := netrun.Config{
 			Cells: parts[i], LatencyTicks: 10, Seed: uint64(i) + 1,
-		})
+			RequestTimeout: *timeout,
+		}
+		if fault != nil {
+			f := *fault
+			f.Seed = *seed + uint64(i)
+			cfg.Fault = &f
+		}
+		n, err := netrun.NewNode(grid, assign, factory, "127.0.0.1:0", cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -109,12 +144,25 @@ func main() {
 	wg.Wait()
 	time.Sleep(50 * time.Millisecond)
 
-	var sent uint64
+	var agg transport.Stats
+	var tally metrics.Tally
 	for _, n := range nodes {
-		sent += n.MessagesSent()
+		agg.Add(n.Stats())
+		tally.Add("deadline denials", n.DeadlineDenials())
+		tally.Add("messages abandoned", n.Abandoned())
+		tally.Add("bad releases", n.BadReleases())
 	}
-	fmt.Printf("granted %d, denied %d; %d control messages crossed the node boundaries\n",
-		granted, denied, sent)
+	tally.Add("messages sent", agg.Total)
+	tally.Add("wire bytes", agg.Bytes)
+	tally.Add("drops injected", agg.DropsInjected)
+	tally.Add("dups injected", agg.DupsInjected)
+	tally.Add("reorders injected", agg.ReordersInjected)
+	tally.Add("retransmits", agg.Retransmits)
+	tally.Add("dups suppressed", agg.DupsSuppressed)
+	tally.Add("acks sent", agg.AcksSent)
+	tally.Add("retry budget exhausted", agg.RetryExhausted)
+
+	fmt.Printf("granted %d, denied %d\n\n%s\n", granted, denied, tally.String())
 	// Committed-outcome interference check across the whole grid.
 	for c := 0; c < grid.NumCells(); c++ {
 		a := hexgrid.CellID(c)

@@ -61,7 +61,12 @@ type Allocator interface {
 	// requests may be queued internally (see Serial).
 	Request(id RequestID)
 	// Release returns channel ch (previously granted) to the system.
-	Release(ch chanset.Channel)
+	// Releasing a channel the cell does not hold returns an error and
+	// leaves the allocator state untouched; deterministic sim drivers
+	// may treat that as fatal (it indicates a driver bug), but live
+	// runtimes must count it and carry on — a misbehaving caller must
+	// not take down the whole signaling plane.
+	Release(ch chanset.Channel) error
 	// Handle processes a message addressed to this cell.
 	Handle(m message.Message)
 	// InUse returns the channels the cell is currently using. The
@@ -94,6 +99,9 @@ type Counters struct {
 	// ModeChanges counts local<->borrowing transitions (flap metric;
 	// zero for the non-adaptive schemes).
 	ModeChanges uint64
+	// BadReleases counts Release calls for channels the cell did not
+	// hold (rejected with an error, state untouched).
+	BadReleases uint64
 }
 
 // Add accumulates o into c.
@@ -104,6 +112,7 @@ func (c *Counters) Add(o Counters) {
 	c.Drops += o.Drops
 	c.UpdateAttempts += o.UpdateAttempts
 	c.ModeChanges += o.ModeChanges
+	c.BadReleases += o.BadReleases
 }
 
 // Grants returns the total successful acquisitions.

@@ -252,9 +252,10 @@ func (v *AdvUpdate) finish(granted bool, ch chanset.Channel, local bool) {
 func (v *AdvUpdate) Request(id alloc.RequestID) { v.serial.Submit(id) }
 
 // Release implements alloc.Allocator.
-func (v *AdvUpdate) Release(ch chanset.Channel) {
+func (v *AdvUpdate) Release(ch chanset.Channel) error {
 	if !v.use.Contains(ch) {
-		panic(fmt.Sprintf("advupdate: cell %d releasing unheld channel %d", v.cell, ch))
+		v.counters.BadReleases++
+		return fmt.Errorf("advupdate: cell %d releasing unheld channel %d", v.cell, ch)
 	}
 	v.use.Remove(ch)
 	for _, j := range v.neighbors {
@@ -262,6 +263,7 @@ func (v *AdvUpdate) Release(ch chanset.Channel) {
 			Kind: message.Release, From: v.cell, To: j, Ch: ch,
 		})
 	}
+	return nil
 }
 
 // Handle implements alloc.Allocator.

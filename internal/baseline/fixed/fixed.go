@@ -66,11 +66,13 @@ func (x *Fixed) start(id alloc.RequestID) {
 func (x *Fixed) Request(id alloc.RequestID) { x.serial.Submit(id) }
 
 // Release implements alloc.Allocator.
-func (x *Fixed) Release(ch chanset.Channel) {
+func (x *Fixed) Release(ch chanset.Channel) error {
 	if !x.use.Contains(ch) {
-		panic(fmt.Sprintf("fixed: cell %d releasing unheld channel %d", x.cell, ch))
+		x.counters.BadReleases++
+		return fmt.Errorf("fixed: cell %d releasing unheld channel %d", x.cell, ch)
 	}
 	x.use.Remove(ch)
+	return nil
 }
 
 // Handle implements alloc.Allocator; the static scheme has no messages.

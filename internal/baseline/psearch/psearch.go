@@ -248,11 +248,13 @@ func (p *PSearch) Request(id alloc.RequestID) { p.serial.Submit(id) }
 
 // Release implements alloc.Allocator. The channel stays allocated — that
 // is the scheme's retention policy.
-func (p *PSearch) Release(ch chanset.Channel) {
+func (p *PSearch) Release(ch chanset.Channel) error {
 	if !p.busy.Contains(ch) {
-		panic(fmt.Sprintf("psearch: cell %d releasing unheld channel %d", p.cell, ch))
+		p.counters.BadReleases++
+		return fmt.Errorf("psearch: cell %d releasing unheld channel %d", p.cell, ch)
 	}
 	p.busy.Remove(ch)
+	return nil
 }
 
 // Handle implements alloc.Allocator.

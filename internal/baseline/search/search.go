@@ -128,11 +128,13 @@ func (s *Search) Request(id alloc.RequestID) { s.serial.Submit(id) }
 
 // Release implements alloc.Allocator. Releases are purely local in the
 // basic search scheme: the next search collects fresh Use sets anyway.
-func (s *Search) Release(ch chanset.Channel) {
+func (s *Search) Release(ch chanset.Channel) error {
 	if !s.use.Contains(ch) {
-		panic(fmt.Sprintf("search: cell %d releasing unheld channel %d", s.cell, ch))
+		s.counters.BadReleases++
+		return fmt.Errorf("search: cell %d releasing unheld channel %d", s.cell, ch)
 	}
 	s.use.Remove(ch)
+	return nil
 }
 
 // Handle implements alloc.Allocator.

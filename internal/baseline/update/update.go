@@ -188,9 +188,10 @@ func (u *Update) finish(granted bool, ch chanset.Channel) {
 func (u *Update) Request(id alloc.RequestID) { u.serial.Submit(id) }
 
 // Release implements alloc.Allocator.
-func (u *Update) Release(ch chanset.Channel) {
+func (u *Update) Release(ch chanset.Channel) error {
 	if !u.use.Contains(ch) {
-		panic(fmt.Sprintf("update: cell %d releasing unheld channel %d", u.cell, ch))
+		u.counters.BadReleases++
+		return fmt.Errorf("update: cell %d releasing unheld channel %d", u.cell, ch)
 	}
 	u.use.Remove(ch)
 	for _, j := range u.neighbors {
@@ -198,6 +199,7 @@ func (u *Update) Release(ch chanset.Channel) {
 			Kind: message.Release, From: u.cell, To: j, Ch: ch,
 		})
 	}
+	return nil
 }
 
 // Handle implements alloc.Allocator.

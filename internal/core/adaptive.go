@@ -83,6 +83,11 @@ type Params struct {
 // experiments unless a sweep overrides it: thresholds 1/3 with a window
 // of 50 T-units and α = 3 attempts.
 func DefaultParams(latency sim.Time) Params {
+	// A non-positive latency would zero the window and make the derived
+	// params fail Validate (the NFC predictor divides by Window).
+	if latency <= 0 {
+		latency = 1
+	}
 	return Params{
 		ThetaLow:  1,
 		ThetaHigh: 3,

@@ -291,11 +291,20 @@ func TestParamsValidate(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Fatalf("default params invalid: %v", err)
 	}
+	// DefaultParams must stay valid for degenerate latencies: Window=0
+	// would reach the NFC predictor's division.
+	for _, latency := range []sim.Time{0, -5, 1} {
+		if err := core.DefaultParams(latency).Validate(); err != nil {
+			t.Errorf("DefaultParams(%d) invalid: %v", latency, err)
+		}
+	}
 	bad := []core.Params{
 		{ThetaLow: 0, ThetaHigh: 3, Alpha: 1, Window: 10},
 		{ThetaLow: 3, ThetaHigh: 2, Alpha: 1, Window: 10},
 		{ThetaLow: 1, ThetaHigh: 3, Alpha: -1, Window: 10},
 		{ThetaLow: 1, ThetaHigh: 3, Alpha: 1, Window: 0},
+		{ThetaLow: 1, ThetaHigh: 3, Alpha: 1, Window: -10},
+		{ThetaLow: 1, ThetaHigh: 3, Alpha: 1, Window: 10, Lender: 99},
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {

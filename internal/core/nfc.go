@@ -22,6 +22,11 @@ type nfcWindow struct {
 // init seeds the window with the count at time t0 (add_nfc of the paper
 // guarantees at least one sample is always retrievable).
 func (w *nfcWindow) init(t0 sim.Time, count int, window sim.Time) {
+	if window <= 0 {
+		// Defensive: predict divides by the window. Factory validation
+		// rejects Window <= 0, but guard direct constructions too.
+		window = 1
+	}
 	w.window = window
 	w.times = append(w.times[:0], t0)
 	w.counts = append(w.counts[:0], count)

@@ -280,10 +280,14 @@ func (a *Adaptive) acquire(ch chanset.Channel) {
 
 // Release is Figure 9 (Deallocate): the channel returns to the pool and
 // the release is announced — to the borrowing neighbors only when local,
-// to the whole interference region otherwise.
-func (a *Adaptive) Release(ch chanset.Channel) {
+// to the whole interference region otherwise. Releasing a channel the
+// cell does not hold is rejected with an error (and counted) rather
+// than panicking: on the live runtime a panic here would take down the
+// whole process over one misbehaving caller.
+func (a *Adaptive) Release(ch chanset.Channel) error {
 	if !a.use.Contains(ch) {
-		panic(fmt.Sprintf("core: cell %d releasing channel %d it does not hold", a.cell, ch))
+		a.counters.BadReleases++
+		return fmt.Errorf("core: cell %d releasing channel %d it does not hold", a.cell, ch)
 	}
 	// Repacking extension: keep the freed primary in service by moving
 	// a borrowed call onto it and releasing the borrowed channel back
@@ -296,7 +300,7 @@ func (a *Adaptive) Release(ch chanset.Channel) {
 			a.env.Moved(b, ch) // ch stays in use, now carrying b's call
 			broadcast(a, message.Message{Kind: message.Release, Ch: b})
 			a.checkMode()
-			return
+			return nil
 		}
 	}
 	a.use.Remove(ch)
@@ -317,6 +321,7 @@ func (a *Adaptive) Release(ch chanset.Channel) {
 		broadcast(a, message.Message{Kind: message.Release, Ch: ch})
 	}
 	a.checkMode()
+	return nil
 }
 
 // Handle implements alloc.Allocator: the five receive procedures of the

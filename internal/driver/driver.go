@@ -197,7 +197,11 @@ func (s *Sim) Release(cell hexgrid.CellID, ch chanset.Channel) {
 		}
 	}
 	s.traceEvent(trace.Event{At: s.engine.Now(), Kind: trace.EvRelease, Cell: cell, Ch: ch})
-	s.allocs[cell].Release(ch)
+	if err := s.allocs[cell].Release(ch); err != nil {
+		// In the deterministic sim an unheld release is a driver bug,
+		// not an environmental fault — fail loudly.
+		panic(err)
+	}
 }
 
 // Run advances virtual time to until, executing all due events.

@@ -4,6 +4,13 @@
 // protocol under true concurrency (race detector, nondeterministic
 // interleavings) and to power interactive demos; the measured
 // experiments use the deterministic DES driver instead.
+//
+// The signaling plane may optionally be degraded with a fault model
+// (Options.Fault): drops, duplicates, reordering and jitter are injected
+// below a sequence-numbered ack/retransmit layer that restores the
+// reliable-FIFO contract the protocol assumes. A per-request deadline
+// (Options.RequestTimeout) converts any request stuck behind a dead link
+// into a counted denial instead of a hung WaitSettled.
 package livenet
 
 import (
@@ -33,6 +40,20 @@ type Options struct {
 	Seed uint64
 	// Mailbox sizes each station's queue.
 	Mailbox int
+
+	// Fault, when non-nil, injects drops/duplicates/reordering/jitter
+	// into the signaling plane. A Reliable layer is stacked above it
+	// automatically so the protocol still sees reliable-FIFO links.
+	Fault *transport.FaultConfig
+	// Reliable tunes the ack/retransmit layer. Nil means defaults when
+	// Fault is set, and no reliability layer at all when the transport
+	// is already reliable (Fault nil too).
+	Reliable *transport.ReliableConfig
+	// RequestTimeout, when positive, bounds each request's wall-clock
+	// lifetime: a request not granted or denied in time completes as a
+	// counted deadline denial (see Network.DeadlineDenials). A grant
+	// that arrives after its deadline is released back automatically.
+	RequestTimeout time.Duration
 }
 
 // Result mirrors driver.Result for the live runtime.
@@ -42,24 +63,37 @@ type Result struct {
 	Ch      chanset.Channel
 }
 
+// pendingReq tracks one in-flight request.
+type pendingReq struct {
+	cell  hexgrid.CellID
+	cb    func(Result)
+	timer *time.Timer // nil when no RequestTimeout is configured
+}
+
 // Network is a running live network.
 type Network struct {
 	grid   *hexgrid.Grid
 	assign *chanset.Assignment
-	net    *transport.Live
+	base   *transport.Live     // bottom of the stack: owns the goroutines
+	net    transport.Transport // top of the stack: what stations talk to
+	rel    *transport.Reliable // non-nil when a reliability layer is stacked
 	allocs []alloc.Allocator
 	opts   Options
 	start  time.Time
 
-	mu          sync.Mutex
-	nextID      alloc.RequestID
-	pending     map[alloc.RequestID]func(Result)
-	outstanding int
-	grants      uint64
-	denies      uint64
-	holding     []chanset.Set // committed holdings per cell (checker)
-	violation   error
-	idleCh      chan struct{}
+	mu              sync.Mutex
+	nextID          alloc.RequestID
+	pending         map[alloc.RequestID]*pendingReq
+	expired         map[alloc.RequestID]bool // deadline fired, outcome pending
+	outstanding     int
+	grants          uint64
+	denies          uint64
+	deadlineDenials uint64
+	lateGrants      uint64
+	abandoned       uint64
+	badReleases     uint64
+	holding         []chanset.Set // committed holdings per cell (checker)
+	violation       error
 }
 
 // New wires the live network and starts its goroutines. Callers must
@@ -71,24 +105,51 @@ func New(grid *hexgrid.Grid, assign *chanset.Assignment, factory alloc.Factory, 
 	if opts.LatencyTicks <= 0 {
 		opts.LatencyTicks = 10
 	}
+	base := transport.NewLive(opts.Delay, opts.Mailbox)
+	var top transport.Transport = base
+	if opts.Fault != nil {
+		top = transport.NewFaulty(top, *opts.Fault)
+	}
+	var rel *transport.Reliable
+	if opts.Fault != nil || opts.Reliable != nil {
+		var rcfg transport.ReliableConfig
+		if opts.Reliable != nil {
+			rcfg = *opts.Reliable
+		}
+		rel = transport.NewReliable(top, rcfg)
+		top = rel
+	}
 	n := &Network{
 		grid:    grid,
 		assign:  assign,
-		net:     transport.NewLive(opts.Delay, opts.Mailbox),
+		base:    base,
+		net:     top,
+		rel:     rel,
 		opts:    opts,
-		pending: make(map[alloc.RequestID]func(Result)),
+		pending: make(map[alloc.RequestID]*pendingReq),
+		expired: make(map[alloc.RequestID]bool),
 		holding: make([]chanset.Set, grid.NumCells()),
 		start:   time.Now(),
+	}
+	if rel != nil {
+		// A message that exhausts its retransmit budget means a dead
+		// link; count it — the deadline watchdog converts the affected
+		// requests into denials.
+		rel.OnAbandon = func(message.Message) {
+			n.mu.Lock()
+			n.abandoned++
+			n.mu.Unlock()
+		}
 	}
 	n.allocs = make([]alloc.Allocator, grid.NumCells())
 	for i := range n.allocs {
 		cell := hexgrid.CellID(i)
 		a := factory.New(cell)
 		n.allocs[i] = a
-		n.net.Attach(cell, a)
+		n.net.Attach(cell, a) // through the stack: reliability wraps the handler
 		n.holding[i] = chanset.NewSet(assign.NumChannels)
 	}
-	n.net.Start()
+	n.base.Start()
 	// Start must run on each station's goroutine so allocator state is
 	// never touched cross-thread.
 	var wg sync.WaitGroup
@@ -97,7 +158,7 @@ func New(grid *hexgrid.Grid, assign *chanset.Assignment, factory alloc.Factory, 
 		cell := hexgrid.CellID(i)
 		env := &liveEnv{net: n, cell: cell, rand: sim.Substream(opts.Seed, uint64(i)+1)}
 		wg.Add(1)
-		n.net.Do(cell, func() {
+		n.base.Do(cell, func() {
 			n.allocs[i].Start(env)
 			wg.Done()
 		})
@@ -106,30 +167,72 @@ func New(grid *hexgrid.Grid, assign *chanset.Assignment, factory alloc.Factory, 
 	return n
 }
 
-// Stop terminates the station goroutines.
-func (n *Network) Stop() { n.net.Stop() }
+// Stop terminates the station goroutines. The reliability layer is
+// closed first so its retransmit timers stop firing into a dead
+// transport.
+func (n *Network) Stop() {
+	if n.rel != nil {
+		n.rel.Close()
+	}
+	n.base.Stop()
+}
 
 // Grid returns the cell layout.
 func (n *Network) Grid() *hexgrid.Grid { return n.grid }
 
 // Request submits a channel request at cell; cb (may be nil) is invoked
-// on the station's goroutine when the request completes.
+// when the request completes — on the station's goroutine for a normal
+// grant/denial, on a timer goroutine for a deadline denial.
 func (n *Network) Request(cell hexgrid.CellID, cb func(Result)) {
 	n.mu.Lock()
 	n.nextID++
 	id := n.nextID
-	n.pending[id] = cb
+	p := &pendingReq{cell: cell, cb: cb}
+	n.pending[id] = p
 	n.outstanding++
+	if n.opts.RequestTimeout > 0 {
+		p.timer = time.AfterFunc(n.opts.RequestTimeout, func() { n.expire(id) })
+	}
 	n.mu.Unlock()
-	n.net.Do(cell, func() { n.allocs[cell].Request(id) })
+	n.base.Do(cell, func() { n.allocs[cell].Request(id) })
 }
 
-// Release returns a channel at cell.
+// expire fires when a request overstays RequestTimeout: it completes as
+// a counted denial so the caller (and WaitSettled) never hang on a
+// wedged link. The protocol may still conclude later; a late grant is
+// released back in complete.
+func (n *Network) expire(id alloc.RequestID) {
+	n.mu.Lock()
+	p := n.pending[id]
+	if p == nil {
+		n.mu.Unlock()
+		return // completed normally just before the timer fired
+	}
+	delete(n.pending, id)
+	n.expired[id] = true
+	n.outstanding--
+	n.denies++
+	n.deadlineDenials++
+	n.mu.Unlock()
+	if p.cb != nil {
+		p.cb(Result{Cell: p.cell, Granted: false, Ch: chanset.NoChannel})
+	}
+}
+
+// Release returns a channel at cell. A release the allocator rejects
+// (channel not held) is counted, not fatal: on the live runtime one
+// misbehaving caller must not take down the signaling plane.
 func (n *Network) Release(cell hexgrid.CellID, ch chanset.Channel) {
 	n.mu.Lock()
 	n.holding[cell].Remove(ch)
 	n.mu.Unlock()
-	n.net.Do(cell, func() { n.allocs[cell].Release(ch) })
+	n.base.Do(cell, func() {
+		if err := n.allocs[cell].Release(ch); err != nil {
+			n.mu.Lock()
+			n.badReleases++
+			n.mu.Unlock()
+		}
+	})
 }
 
 // Outstanding returns in-flight request count.
@@ -146,14 +249,38 @@ func (n *Network) Grants() uint64 {
 	return n.grants
 }
 
-// Denies reports denied request counts.
+// Denies reports denied request counts (deadline denials included).
 func (n *Network) Denies() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.denies
 }
 
-// Messages returns transport traffic so far.
+// DeadlineDenials reports requests denied by the RequestTimeout
+// watchdog rather than by the protocol.
+func (n *Network) DeadlineDenials() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.deadlineDenials
+}
+
+// Abandoned reports messages whose retransmit budget was exhausted
+// (zero without a reliability layer).
+func (n *Network) Abandoned() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.abandoned
+}
+
+// BadReleases reports Release calls the allocator rejected.
+func (n *Network) BadReleases() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.badReleases
+}
+
+// Messages returns transport traffic so far, measured at the top of the
+// stack (fault-injection and reliability counters included).
 func (n *Network) Messages() transport.Stats { return n.net.Stats() }
 
 // Violation returns the first co-channel interference detected among
@@ -164,15 +291,16 @@ func (n *Network) Violation() error {
 	return n.violation
 }
 
-// WaitSettled blocks until no requests are outstanding and the transport
-// is idle, or the timeout elapses; reports whether it settled.
+// WaitSettled blocks until no requests are outstanding and the whole
+// transport stack is idle, or the timeout elapses; reports whether it
+// settled.
 func (n *Network) WaitSettled(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		n.mu.Lock()
 		out := n.outstanding
 		n.mu.Unlock()
-		if out == 0 && n.net.Idle() {
+		if out == 0 && n.idle() {
 			return true
 		}
 		time.Sleep(200 * time.Microsecond)
@@ -180,10 +308,41 @@ func (n *Network) WaitSettled(timeout time.Duration) bool {
 	return false
 }
 
-// complete records a finished request and runs its callback.
+// idle reports quiescence of the transport stack's top layer.
+func (n *Network) idle() bool {
+	if i, ok := n.net.(transport.Idler); ok {
+		return i.Idle()
+	}
+	return true
+}
+
+// complete records a finished request and runs its callback. It runs on
+// the granting cell's station goroutine (via env.Granted / env.Denied).
 func (n *Network) complete(cell hexgrid.CellID, id alloc.RequestID, granted bool, ch chanset.Channel) {
 	n.mu.Lock()
-	cb := n.pending[id]
+	p := n.pending[id]
+	if p == nil {
+		// The deadline watchdog already completed this request as a
+		// denial. A late grant must hand its channel back — we are on
+		// the station's goroutine, so the release is a direct call.
+		wasExpired := n.expired[id]
+		delete(n.expired, id)
+		if wasExpired && granted {
+			n.lateGrants++
+			n.mu.Unlock()
+			if err := n.allocs[cell].Release(ch); err != nil {
+				n.mu.Lock()
+				n.badReleases++
+				n.mu.Unlock()
+			}
+			return
+		}
+		n.mu.Unlock()
+		return
+	}
+	if p.timer != nil {
+		p.timer.Stop()
+	}
 	delete(n.pending, id)
 	n.outstanding--
 	if granted {
@@ -203,8 +362,8 @@ func (n *Network) complete(cell hexgrid.CellID, id alloc.RequestID, granted bool
 		n.denies++
 	}
 	n.mu.Unlock()
-	if cb != nil {
-		cb(Result{Cell: cell, Granted: granted, Ch: ch})
+	if p.cb != nil {
+		p.cb(Result{Cell: cell, Granted: granted, Ch: ch})
 	}
 }
 
@@ -234,7 +393,7 @@ func (e *liveEnv) Send(m message.Message) {
 
 func (e *liveEnv) After(d sim.Time, fn func()) {
 	wall := time.Duration(d) * e.net.opts.TickDuration
-	time.AfterFunc(wall, func() { e.net.net.Do(e.cell, fn) })
+	time.AfterFunc(wall, func() { e.net.base.Do(e.cell, fn) })
 }
 
 func (e *liveEnv) Began(alloc.RequestID) {}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/hexgrid"
 	"repro/internal/livenet"
 	"repro/internal/registry"
+	"repro/internal/transport"
 )
 
 func build(t *testing.T, scheme string, channels int, delay time.Duration, seed uint64) *livenet.Network {
@@ -161,5 +162,146 @@ func TestLiveAllSchemes(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// buildFaulty builds a network over a degraded signaling plane.
+func buildFaulty(t *testing.T, scheme string, channels int, seed uint64, opts livenet.Options) *livenet.Network {
+	t.Helper()
+	g, err := hexgrid.New(hexgrid.Config{Shape: hexgrid.Rect, Width: 7, Height: 7, ReuseDistance: 2, Wrap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := chanset.Assign(g, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := registry.Build(scheme, g, assign, registry.Config{Latency: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.LatencyTicks = 10
+	opts.Seed = seed
+	opts.TickDuration = 50 * time.Microsecond
+	return livenet.New(g, assign, f, opts)
+}
+
+func TestLiveFaultyLinksEveryRequestTerminates(t *testing.T) {
+	// The PR's acceptance property: under injected loss, duplication and
+	// jitter, every request terminates as a grant or a counted denial,
+	// with zero co-channel violations and the fault counters visible.
+	n := buildFaulty(t, "adaptive", 21, 11, livenet.Options{
+		Fault: &transport.FaultConfig{
+			Seed: 11, Drop: 0.02, Duplicate: 0.02, Reorder: 0.02,
+			JitterMin: 5 * time.Microsecond, JitterMax: 150 * time.Microsecond,
+		},
+		Reliable:       &transport.ReliableConfig{Timeout: 2 * time.Millisecond},
+		RequestTimeout: 20 * time.Second,
+	})
+	defer n.Stop()
+	center := n.Grid().InteriorCell()
+	targets := append([]hexgrid.CellID{center}, n.Grid().Interference(center)...)
+	var wg sync.WaitGroup
+	total := 0
+	for i, c := range targets {
+		for k := 0; k < 5; k++ { // exceeds the 3 primaries: forces borrowing
+			total++
+			wg.Add(1)
+			cell := c
+			hold := time.Duration(1+(i+k)%3) * time.Millisecond
+			go func() {
+				defer wg.Done()
+				done := make(chan livenet.Result, 1)
+				n.Request(cell, func(r livenet.Result) { done <- r })
+				select {
+				case r := <-done:
+					if r.Granted {
+						time.Sleep(hold)
+						n.Release(r.Cell, r.Ch)
+					}
+				case <-time.After(60 * time.Second):
+					t.Error("request hung despite reliability layer + watchdog")
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if !n.WaitSettled(20 * time.Second) {
+		t.Fatal("network did not settle")
+	}
+	if err := n.Violation(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Grants() + n.Denies(); got != uint64(total) {
+		t.Fatalf("completed %d of %d", got, total)
+	}
+	st := n.Messages()
+	if st.DropsInjected == 0 {
+		t.Fatalf("fault layer injected nothing over %d messages: %+v", st.Total, st)
+	}
+	if st.Retransmits == 0 {
+		t.Fatalf("drops injected but nothing retransmitted: %+v", st)
+	}
+	if st.AcksSent == 0 {
+		t.Fatalf("reliability layer sent no acks: %+v", st)
+	}
+}
+
+func TestLiveDeadlineWatchdogDeniesWedgedRequests(t *testing.T) {
+	// 100% loss wedges every permission round; the watchdog must convert
+	// the stuck requests into counted denials so nothing hangs.
+	n := buildFaulty(t, "adaptive", 21, 12, livenet.Options{
+		Fault: &transport.FaultConfig{Seed: 12, Drop: 1},
+		Reliable: &transport.ReliableConfig{
+			Timeout: 500 * time.Microsecond, BackoffCap: time.Millisecond, MaxRetries: 3,
+		},
+		RequestTimeout: 250 * time.Millisecond,
+	})
+	defer n.Stop()
+	cell := n.Grid().InteriorCell()
+	const reqs = 5 // 3 primaries grant locally; the rest need (dead) links
+	results := make(chan livenet.Result, reqs)
+	for i := 0; i < reqs; i++ {
+		n.Request(cell, func(r livenet.Result) { results <- r })
+	}
+	grants, denies := 0, 0
+	for i := 0; i < reqs; i++ {
+		select {
+		case r := <-results:
+			if r.Granted {
+				grants++
+			} else {
+				denies++
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("request neither granted nor denied — watchdog failed")
+		}
+	}
+	if grants != 3 || denies != 2 {
+		t.Fatalf("grants=%d denies=%d, want 3 local grants and 2 deadline denials", grants, denies)
+	}
+	if n.DeadlineDenials() != 2 {
+		t.Fatalf("DeadlineDenials = %d, want 2", n.DeadlineDenials())
+	}
+	if n.Abandoned() == 0 {
+		t.Fatal("retry budget never exhausted on a 100%-loss link")
+	}
+	if n.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after all completions", n.Outstanding())
+	}
+	if st := n.Messages(); st.RetryExhausted == 0 {
+		t.Fatalf("RetryExhausted missing from stats: %+v", st)
+	}
+}
+
+func TestLiveBadReleaseCountedNotFatal(t *testing.T) {
+	n := build(t, "adaptive", 70, 0, 13)
+	defer n.Stop()
+	n.Release(5, 3) // never granted: must be counted, not panic
+	if !n.WaitSettled(5 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	if n.BadReleases() != 1 {
+		t.Fatalf("BadReleases = %d, want 1", n.BadReleases())
 	}
 }

@@ -21,14 +21,23 @@ import (
 //	bytes 12-15 ch (int32; NoChannel = -1)
 //	bytes 16-23 ts.time (int64)
 //	bytes 24-27 ts.node (int32)
-//	bytes 28-31 number of use-set words (uint32)
+//	bytes 28-35 seq (uint64; reliability-layer sequence number, 0 when
+//	            unsequenced)
+//	bytes 36-39 number of use-set words (uint32)
 //	then 8 bytes per word
 //
 // The codec exists so the live transport (and any future socket
 // transport) can ship messages as bytes; the DES transport passes structs
 // directly and clones sets instead.
 
-const headerLen = 32
+const headerLen = 40
+
+// seqOff and wordsOff locate the seq and use-set-length fields in the
+// header (shared by Encode, Decode and Read).
+const (
+	seqOff   = 28
+	wordsOff = 36
+)
 
 // MaxSetWords bounds the encodable Use set (1<<16 words = 4M channels),
 // guarding Decode against corrupt lengths.
@@ -54,7 +63,8 @@ func Encode(buf []byte, m Message) []byte {
 	binary.BigEndian.PutUint32(b[12:], uint32(m.Ch))
 	binary.BigEndian.PutUint64(b[16:], uint64(m.TS.Time))
 	binary.BigEndian.PutUint32(b[24:], uint32(m.TS.Node))
-	binary.BigEndian.PutUint32(b[28:], uint32(len(words)))
+	binary.BigEndian.PutUint64(b[seqOff:], m.Seq)
+	binary.BigEndian.PutUint32(b[wordsOff:], uint32(len(words)))
 	for i, w := range words {
 		binary.BigEndian.PutUint64(b[headerLen+8*i:], w)
 	}
@@ -83,7 +93,8 @@ func Decode(b []byte) (Message, int, error) {
 		Time: int64(binary.BigEndian.Uint64(b[16:])),
 		Node: int32(binary.BigEndian.Uint32(b[24:])),
 	}
-	nWords := binary.BigEndian.Uint32(b[28:])
+	m.Seq = binary.BigEndian.Uint64(b[seqOff:])
+	nWords := binary.BigEndian.Uint32(b[wordsOff:])
 	if nWords > MaxSetWords {
 		return Message{}, 0, fmt.Errorf("message: use set too large: %d words", nWords)
 	}
@@ -120,7 +131,7 @@ func Read(r io.Reader) (Message, error) {
 		}
 		return Message{}, err
 	}
-	nWords := binary.BigEndian.Uint32(hdr[28:])
+	nWords := binary.BigEndian.Uint32(hdr[wordsOff:])
 	if nWords > MaxSetWords {
 		return Message{}, fmt.Errorf("message: use set too large: %d words", nWords)
 	}

@@ -35,6 +35,11 @@ const (
 	// Release announces that the sender released a channel (or gave up
 	// granted permissions after a failed borrowing attempt).
 	Release
+	// Ack is a transport-level acknowledgement of a sequenced message
+	// (Seq carries the acknowledged sequence number). It belongs to the
+	// reliability layer, never reaches an allocator, and exists as a
+	// Kind so it shares the wire codec and traffic accounting.
+	Ack
 	numKinds
 )
 
@@ -51,6 +56,8 @@ func (k Kind) String() string {
 		return "ACQUISITION"
 	case Release:
 		return "RELEASE"
+	case Ack:
+		return "ACK"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -166,6 +173,11 @@ type Message struct {
 	// TS is the requester's timestamp (REQUEST) or is echoed for
 	// correlation (RESPONSE).
 	TS lamport.Stamp
+	// Seq is the transport-level sequence number stamped by the
+	// reliability layer (per directed link, starting at 1; 0 means
+	// unsequenced). For Ack messages it is the acknowledged sequence
+	// number. The protocol layer never reads it.
+	Seq uint64
 	// Use carries the sender's used-channel set for ResSearch and
 	// ResStatus responses. Always an independent copy.
 	Use chanset.Set
@@ -187,6 +199,8 @@ func (m Message) String() string {
 		return fmt.Sprintf("ACQUISITION(%d,ch=%d) %d->%d", m.Acq, m.Ch, m.From, m.To)
 	case Release:
 		return fmt.Sprintf("RELEASE(ch=%d) %d->%d", m.Ch, m.From, m.To)
+	case Ack:
+		return fmt.Sprintf("ACK(seq=%d) %d->%d", m.Seq, m.From, m.To)
 	default:
 		return fmt.Sprintf("Message(kind=%d)", m.Kind)
 	}

@@ -19,6 +19,7 @@ func TestKindStrings(t *testing.T) {
 		ChangeMode:  "CHANGE_MODE",
 		Acquisition: "ACQUISITION",
 		Release:     "RELEASE",
+		Ack:         "ACK",
 	}
 	for k, s := range want {
 		if k.String() != s {
@@ -28,8 +29,8 @@ func TestKindStrings(t *testing.T) {
 	if Kind(99).String() == "" {
 		t.Error("unknown kind should still format")
 	}
-	if NumKinds != 5 {
-		t.Errorf("NumKinds = %d, want 5", NumKinds)
+	if NumKinds != 6 {
+		t.Errorf("NumKinds = %d, want 6", NumKinds)
 	}
 }
 
@@ -83,7 +84,7 @@ func sameMessage(a, b Message) bool {
 	return a.Kind == b.Kind && a.From == b.From && a.To == b.To &&
 		a.Req == b.Req && a.Res == b.Res && a.Acq == b.Acq &&
 		a.Mode == b.Mode && a.Ch == b.Ch && a.TS == b.TS &&
-		a.Use.Equal(b.Use)
+		a.Seq == b.Seq && a.Use.Equal(b.Use)
 }
 
 func TestCodecRoundTripBasic(t *testing.T) {
@@ -150,7 +151,7 @@ func TestDecodeErrors(t *testing.T) {
 	}
 	// Absurd word count.
 	buf2 := Encode(nil, Message{Kind: Request})
-	buf2[28], buf2[29], buf2[30], buf2[31] = 0xff, 0xff, 0xff, 0xff
+	buf2[wordsOff], buf2[wordsOff+1], buf2[wordsOff+2], buf2[wordsOff+3] = 0xff, 0xff, 0xff, 0xff
 	if _, _, err := Decode(buf2); err == nil {
 		t.Error("oversized set length should fail")
 	}
@@ -195,14 +196,14 @@ func TestStreamReadTruncated(t *testing.T) {
 	}
 	// Oversized word count.
 	bad := append([]byte(nil), full...)
-	bad[28], bad[29] = 0xff, 0xff
+	bad[wordsOff], bad[wordsOff+1] = 0xff, 0xff
 	if _, err := Read(bytes.NewReader(bad)); err == nil {
 		t.Error("oversized set must fail")
 	}
 }
 
 func TestCodecRoundTripProperty(t *testing.T) {
-	f := func(kind uint8, req, res, acq, mode uint8, from, to int16, ch int16, tsT int32, tsN int16, chans []uint16) bool {
+	f := func(kind uint8, req, res, acq, mode uint8, from, to int16, ch int16, tsT int32, tsN int16, seq uint64, chans []uint16) bool {
 		m := Message{
 			Kind: Kind(kind % uint8(NumKinds)),
 			Req:  ReqType(req % 3),
@@ -213,6 +214,7 @@ func TestCodecRoundTripProperty(t *testing.T) {
 			To:   hexgrid.CellID(to),
 			Ch:   chanset.Channel(ch),
 			TS:   lamport.Stamp{Time: int64(tsT), Node: int32(tsN)},
+			Seq:  seq,
 		}
 		for _, c := range chans {
 			m.Use.Add(chanset.Channel(c % 1024))

@@ -108,18 +108,27 @@ func NewHistogram(width float64, n int) *Histogram {
 	return &Histogram{width: width, buckets: make([]uint64, n)}
 }
 
-// Observe adds x (negative values clamp to bucket 0).
+// Observe adds x. Negative values clamp to bucket 0; NaN, +Inf and
+// anything at or beyond the bucketed range land in the overflow bucket.
+// The range test happens in the float domain: converting an
+// out-of-range float64 to int is undefined in Go (on amd64 it yields
+// the minimum int64), so `int(x/width)` on a huge sample used to index
+// buckets with a negative subscript and panic.
 func (h *Histogram) Observe(x float64) {
 	h.total++
-	if x < 0 {
-		x = 0
-	}
-	i := int(x / h.width)
-	if i >= len(h.buckets) {
+	if math.IsNaN(x) {
 		h.over++
 		return
 	}
-	h.buckets[i]++
+	if x < 0 {
+		x = 0
+	}
+	f := x / h.width
+	if f >= float64(len(h.buckets)) {
+		h.over++
+		return
+	}
+	h.buckets[int(f)]++
 }
 
 // N returns the number of observations.
@@ -287,6 +296,44 @@ func csvCell(vals []float64, i int) string {
 	default:
 		return strconv.FormatFloat(v, 'g', -1, 64)
 	}
+}
+
+// Tally is an insertion-ordered list of named integer counters for
+// human-readable runtime reports (cmd/channet prints one). Unlike a
+// map it renders in the order counters were first added.
+type Tally struct {
+	names []string
+	vals  map[string]uint64
+}
+
+// Add increments (creating on first use) the named counter by v.
+func (t *Tally) Add(name string, v uint64) {
+	if t.vals == nil {
+		t.vals = make(map[string]uint64)
+	}
+	if _, ok := t.vals[name]; !ok {
+		t.names = append(t.names, name)
+	}
+	t.vals[name] += v
+}
+
+// Get returns the named counter's value (0 if never added).
+func (t *Tally) Get(name string) uint64 { return t.vals[name] }
+
+// String renders one aligned "name  value" line per counter, in
+// insertion order.
+func (t *Tally) String() string {
+	w := 0
+	for _, n := range t.names {
+		if len(n) > w {
+			w = len(n)
+		}
+	}
+	var b strings.Builder
+	for _, n := range t.names {
+		fmt.Fprintf(&b, "%-*s  %d\n", w, n, t.vals[n])
+	}
+	return b.String()
 }
 
 // SortedKeys returns the sorted keys of a string-keyed map of float64,

@@ -288,3 +288,39 @@ func TestSortedKeys(t *testing.T) {
 		t.Fatalf("keys = %v", keys)
 	}
 }
+
+func TestHistogramObserveExtremeValues(t *testing.T) {
+	// Regression: int(x/width) on +Inf or math.MaxFloat64 is an
+	// out-of-range float→int conversion (minimum int64 on amd64), which
+	// indexed buckets with a negative subscript and panicked.
+	h := NewHistogram(1, 10)
+	for _, x := range []float64{math.Inf(1), math.MaxFloat64, math.NaN(), 1e300, 10, -math.MaxFloat64} {
+		h.Observe(x) // must not panic
+	}
+	if h.N() != 6 {
+		t.Fatalf("N = %d, want 6", h.N())
+	}
+	if h.over != 5 { // everything except the clamped -MaxFloat64
+		t.Fatalf("overflow = %d, want 5", h.over)
+	}
+	if h.buckets[0] != 1 {
+		t.Fatalf("bucket 0 = %d, want 1 (negative clamps to 0)", h.buckets[0])
+	}
+	if q := h.Quantile(0.99); q != 10 {
+		t.Fatalf("q99 = %v, want the overflow stand-in 10", q)
+	}
+}
+
+func TestTallyOrderAndValues(t *testing.T) {
+	var tl Tally
+	tl.Add("grants", 3)
+	tl.Add("denials", 1)
+	tl.Add("grants", 2)
+	if tl.Get("grants") != 5 || tl.Get("denials") != 1 || tl.Get("absent") != 0 {
+		t.Fatalf("values wrong: %q", tl.String())
+	}
+	want := "grants   5\ndenials  1\n"
+	if tl.String() != want {
+		t.Fatalf("String() = %q, want %q", tl.String(), want)
+	}
+}

@@ -10,6 +10,11 @@
 // (it is static configuration, like the cell plan itself). Connections
 // between nodes are dialed lazily and kept open; per-connection writes
 // are serialized, and TCP ordering gives per-link FIFO.
+//
+// The node's routing fabric is exposed internally as a
+// transport.Transport (nodeTransport), so the same Faulty and Reliable
+// decorators that degrade and repair the in-process live runtime stack
+// directly over the socket runtime (Config.Fault / Config.Reliable).
 package netrun
 
 import (
@@ -39,6 +44,19 @@ type Config struct {
 	TickDuration time.Duration
 	// Seed drives per-cell randomness.
 	Seed uint64
+
+	// Fault, when non-nil, injects drops/duplicates/reordering/jitter
+	// into this node's outgoing traffic (local and remote alike). A
+	// Reliable layer is stacked above automatically. Every node in a
+	// cluster should carry the same reliability setting: sequence
+	// numbers stamped here are consumed by the peer's Reliable layer.
+	Fault *transport.FaultConfig
+	// Reliable tunes the ack/retransmit layer; nil means defaults when
+	// Fault is set, no layer otherwise.
+	Reliable *transport.ReliableConfig
+	// RequestTimeout, when positive, completes overdue requests as
+	// counted denials (see Node.DeadlineDenials).
+	RequestTimeout time.Duration
 }
 
 // Result mirrors livenet.Result.
@@ -48,23 +66,36 @@ type Result struct {
 	Ch      chanset.Channel
 }
 
+// pendingReq tracks one in-flight request.
+type pendingReq struct {
+	cell  hexgrid.CellID
+	cb    func(Result)
+	timer *time.Timer
+}
+
 // Node hosts a subset of the stations and speaks TCP to its peers.
 type Node struct {
 	grid   *hexgrid.Grid
 	cfg    Config
 	ln     net.Listener
 	local  *transport.Live // mailboxes for hosted cells
+	fabric *nodeTransport  // routing fabric as a transport.Transport
+	stack  transport.Transport
+	rel    *transport.Reliable
 	hosted map[hexgrid.CellID]alloc.Allocator
 
-	mu       sync.Mutex
-	routes   map[hexgrid.CellID]string // cell → peer address
-	peers    map[string]*peerConn
-	accepted []net.Conn
-	pending  map[alloc.RequestID]func(Result)
-	nextID   alloc.RequestID
-	outst    int
-	sent     uint64
-	closed   bool
+	mu              sync.Mutex
+	routes          map[hexgrid.CellID]string // cell → peer address
+	peers           map[string]*peerConn
+	accepted        []net.Conn
+	pending         map[alloc.RequestID]*pendingReq
+	expired         map[alloc.RequestID]bool
+	nextID          alloc.RequestID
+	outst           int
+	deadlineDenials uint64
+	abandoned       uint64
+	badReleases     uint64
+	closed          bool
 
 	start time.Time
 	wg    sync.WaitGroup
@@ -87,6 +118,11 @@ func NewNode(grid *hexgrid.Grid, assign *chanset.Assignment, factory alloc.Facto
 	if cfg.LatencyTicks <= 0 {
 		cfg.LatencyTicks = 10
 	}
+	if cfg.Fault != nil {
+		if err := cfg.Fault.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netrun: %w", err)
@@ -99,13 +135,34 @@ func NewNode(grid *hexgrid.Grid, assign *chanset.Assignment, factory alloc.Facto
 		hosted:  make(map[hexgrid.CellID]alloc.Allocator, len(cfg.Cells)),
 		routes:  make(map[hexgrid.CellID]string),
 		peers:   make(map[string]*peerConn),
-		pending: make(map[alloc.RequestID]func(Result)),
+		pending: make(map[alloc.RequestID]*pendingReq),
+		expired: make(map[alloc.RequestID]bool),
 		start:   time.Now(),
 	}
+	n.fabric = &nodeTransport{n: n, handlers: make(map[hexgrid.CellID]transport.Handler)}
+	var top transport.Transport = n.fabric
+	if cfg.Fault != nil {
+		top = transport.NewFaulty(top, *cfg.Fault)
+	}
+	if cfg.Fault != nil || cfg.Reliable != nil {
+		var rcfg transport.ReliableConfig
+		if cfg.Reliable != nil {
+			rcfg = *cfg.Reliable
+		}
+		n.rel = transport.NewReliable(top, rcfg)
+		n.rel.OnAbandon = func(message.Message) {
+			n.mu.Lock()
+			n.abandoned++
+			n.mu.Unlock()
+		}
+		top = n.rel
+	}
+	n.stack = top
 	for _, cell := range cfg.Cells {
 		a := factory.New(cell)
 		n.hosted[cell] = a
-		n.local.Attach(cell, a)
+		n.local.Attach(cell, a) // reserves the cell's mailbox goroutine
+		n.stack.Attach(cell, a) // delivery path (reliability wraps the handler)
 	}
 	n.local.Start()
 	var wg sync.WaitGroup
@@ -136,7 +193,9 @@ func (n *Node) SetRoutes(routes map[hexgrid.CellID]string) {
 	}
 }
 
-// Close shuts the node down: listener, peer connections, stations.
+// Close shuts the node down: reliability timers first (so nothing
+// retransmits into a dead fabric), then listener, peer connections,
+// stations.
 func (n *Node) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -144,6 +203,11 @@ func (n *Node) Close() {
 		return
 	}
 	n.closed = true
+	n.mu.Unlock()
+	if n.rel != nil {
+		n.rel.Close()
+	}
+	n.mu.Lock()
 	n.ln.Close()
 	for _, p := range n.peers {
 		p.conn.Close()
@@ -190,7 +254,9 @@ func (n *Node) readLoop(conn net.Conn) {
 			}
 			return
 		}
-		n.deliverLocal(m)
+		// Incoming wire messages enter above the fabric so the
+		// reliability layer (if any) sees their sequence numbers.
+		n.fabric.deliver(m)
 	}
 }
 
@@ -200,23 +266,41 @@ func (n *Node) isClosed() bool {
 	return n.closed
 }
 
-func (n *Node) deliverLocal(m message.Message) {
-	if _, ok := n.hosted[m.To]; !ok {
-		fmt.Printf("netrun: misrouted message for cell %d\n", m.To)
-		return
-	}
-	n.local.Do(m.To, func() { n.hosted[m.To].Handle(m) })
+// nodeTransport adapts the node's routing fabric — local mailboxes plus
+// lazily-dialed TCP peers — to transport.Transport, so Faulty and
+// Reliable stack over the socket runtime exactly as over the in-process
+// one. Attach is called through the stack top, which means the stored
+// handlers already carry the reliability layer's receive side.
+type nodeTransport struct {
+	n *Node
+
+	mu       sync.Mutex
+	handlers map[hexgrid.CellID]transport.Handler
+	stats    transport.Stats
 }
 
-// send routes m to the node hosting m.To.
-func (n *Node) send(m message.Message) {
-	n.mu.Lock()
-	n.sent++
+// Attach implements transport.Transport.
+func (t *nodeTransport) Attach(id hexgrid.CellID, h transport.Handler) {
+	t.mu.Lock()
+	t.handlers[id] = h
+	t.mu.Unlock()
+}
+
+// Send implements transport.Transport: local destinations go through the
+// hosted cell's mailbox, remote ones over the peer connection.
+func (t *nodeTransport) Send(m message.Message) {
+	t.mu.Lock()
+	t.stats.Total++
+	if int(m.Kind) < len(t.stats.ByKind) {
+		t.stats.ByKind[m.Kind]++
+	}
+	t.mu.Unlock()
+	n := t.n
 	if _, ok := n.hosted[m.To]; ok {
-		n.mu.Unlock()
-		n.deliverLocal(m)
+		t.deliver(m)
 		return
 	}
+	n.mu.Lock()
 	addr, ok := n.routes[m.To]
 	n.mu.Unlock()
 	if !ok {
@@ -229,12 +313,39 @@ func (n *Node) send(m message.Message) {
 		}
 		panic(fmt.Sprintf("netrun: dial %s: %v", addr, err))
 	}
+	buf := message.Encode(nil, m)
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := message.Write(p.w, m); err == nil {
+	if _, err := p.w.Write(buf); err == nil {
 		p.w.Flush()
 	}
+	p.mu.Unlock()
+	t.mu.Lock()
+	t.stats.Bytes += uint64(len(buf))
+	t.mu.Unlock()
 }
+
+// deliver hands m to the attached (stack-wrapped) handler of a hosted
+// cell, on that cell's mailbox goroutine.
+func (t *nodeTransport) deliver(m message.Message) {
+	t.mu.Lock()
+	h := t.handlers[m.To]
+	t.mu.Unlock()
+	if h == nil {
+		fmt.Printf("netrun: misrouted message for cell %d\n", m.To)
+		return
+	}
+	t.n.local.Do(m.To, func() { h.Handle(m) })
+}
+
+// Stats implements transport.Transport.
+func (t *nodeTransport) Stats() transport.Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Idle implements transport.Idler.
+func (t *nodeTransport) Idle() bool { return t.n.local.Idle() }
 
 func (n *Node) peer(addr string) (*peerConn, error) {
 	n.mu.Lock()
@@ -258,13 +369,15 @@ func (n *Node) peer(addr string) (*peerConn, error) {
 	return p, nil
 }
 
-// MessagesSent returns the number of messages this node's stations sent
-// (local and remote).
-func (n *Node) MessagesSent() uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.sent
-}
+// MessagesSent returns the number of messages this node put on the
+// fabric (local and remote; with a reliability layer this includes acks
+// and retransmits — they are real traffic).
+func (n *Node) MessagesSent() uint64 { return n.fabric.Stats().Total }
+
+// Stats returns the node's transport accounting measured at the top of
+// the stack: fabric traffic plus fault-injection and reliability
+// counters.
+func (n *Node) Stats() transport.Stats { return n.stack.Stats() }
 
 // Request submits a channel request at a hosted cell.
 func (n *Node) Request(cell hexgrid.CellID, cb func(Result)) {
@@ -274,15 +387,67 @@ func (n *Node) Request(cell hexgrid.CellID, cb func(Result)) {
 	n.mu.Lock()
 	n.nextID++
 	id := n.nextID
-	n.pending[id] = cb
+	p := &pendingReq{cell: cell, cb: cb}
+	n.pending[id] = p
 	n.outst++
+	if n.cfg.RequestTimeout > 0 {
+		p.timer = time.AfterFunc(n.cfg.RequestTimeout, func() { n.expire(id) })
+	}
 	n.mu.Unlock()
 	n.local.Do(cell, func() { n.hosted[cell].Request(id) })
 }
 
-// Release returns a channel at a hosted cell.
+// expire completes an overdue request as a counted denial (the deadline
+// watchdog; see Config.RequestTimeout).
+func (n *Node) expire(id alloc.RequestID) {
+	n.mu.Lock()
+	p := n.pending[id]
+	if p == nil {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.pending, id)
+	n.expired[id] = true
+	n.outst--
+	n.deadlineDenials++
+	n.mu.Unlock()
+	if p.cb != nil {
+		p.cb(Result{Cell: p.cell, Granted: false, Ch: chanset.NoChannel})
+	}
+}
+
+// DeadlineDenials reports requests denied by the RequestTimeout
+// watchdog rather than by the protocol.
+func (n *Node) DeadlineDenials() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.deadlineDenials
+}
+
+// Abandoned reports messages whose retransmit budget was exhausted.
+func (n *Node) Abandoned() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.abandoned
+}
+
+// BadReleases reports Release calls the allocator rejected.
+func (n *Node) BadReleases() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.badReleases
+}
+
+// Release returns a channel at a hosted cell. A rejected release
+// (channel not held) is counted, not fatal.
 func (n *Node) Release(cell hexgrid.CellID, ch chanset.Channel) {
-	n.local.Do(cell, func() { n.hosted[cell].Release(ch) })
+	n.local.Do(cell, func() {
+		if err := n.hosted[cell].Release(ch); err != nil {
+			n.mu.Lock()
+			n.badReleases++
+			n.mu.Unlock()
+		}
+	})
 }
 
 // Outstanding returns in-flight request count at this node.
@@ -301,12 +466,32 @@ func (n *Node) InUse(cell hexgrid.CellID) chanset.Set {
 
 func (n *Node) complete(cell hexgrid.CellID, id alloc.RequestID, granted bool, ch chanset.Channel) {
 	n.mu.Lock()
-	cb := n.pending[id]
+	p := n.pending[id]
+	if p == nil {
+		// The deadline watchdog got here first. A late grant hands its
+		// channel back (we are on the station's goroutine).
+		wasExpired := n.expired[id]
+		delete(n.expired, id)
+		if wasExpired && granted {
+			n.mu.Unlock()
+			if err := n.hosted[cell].Release(ch); err != nil {
+				n.mu.Lock()
+				n.badReleases++
+				n.mu.Unlock()
+			}
+			return
+		}
+		n.mu.Unlock()
+		return
+	}
+	if p.timer != nil {
+		p.timer.Stop()
+	}
 	delete(n.pending, id)
 	n.outst--
 	n.mu.Unlock()
-	if cb != nil {
-		cb(Result{Cell: cell, Granted: granted, Ch: ch})
+	if p.cb != nil {
+		p.cb(Result{Cell: cell, Granted: granted, Ch: ch})
 	}
 }
 
@@ -330,7 +515,7 @@ func (e *nodeEnv) Send(m message.Message) {
 	if m.From != e.cell {
 		m.From = e.cell
 	}
-	e.node.send(m)
+	e.node.stack.Send(m)
 }
 
 func (e *nodeEnv) After(d sim.Time, fn func()) {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/hexgrid"
 	"repro/internal/netrun"
 	"repro/internal/registry"
+	"repro/internal/transport"
 )
 
 // cluster builds nNodes TCP nodes over localhost, partitioning the grid
@@ -212,4 +213,117 @@ func TestNodeMisuse(t *testing.T) {
 		}
 	}()
 	wrong.Request(cell, nil)
+}
+
+func TestDistributedFaultyLinksEveryRequestTerminates(t *testing.T) {
+	// The fault + reliability stack over real TCP: with loss, duplicates
+	// and jitter injected at every node, each request still terminates as
+	// a grant or a counted denial and no co-channel interference commits.
+	grid := hexgrid.MustNew(hexgrid.Config{Shape: hexgrid.Rect, Width: 7, Height: 7, ReuseDistance: 2, Wrap: true})
+	assign, err := chanset.Assign(grid, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, err := registry.Build("adaptive", grid, assign, registry.Config{Latency: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nNodes = 3
+	parts := make([][]hexgrid.CellID, nNodes)
+	owner := make(map[hexgrid.CellID]int)
+	for c := 0; c < grid.NumCells(); c++ {
+		parts[c%nNodes] = append(parts[c%nNodes], hexgrid.CellID(c))
+		owner[hexgrid.CellID(c)] = c % nNodes
+	}
+	nodes := make([]*netrun.Node, nNodes)
+	for i := range nodes {
+		n, err := netrun.NewNode(grid, assign, factory, "127.0.0.1:0", netrun.Config{
+			Cells: parts[i], LatencyTicks: 10, Seed: 100 + uint64(i),
+			TickDuration: 50 * time.Microsecond,
+			Fault: &transport.FaultConfig{
+				Seed: 100 + uint64(i), Drop: 0.02, Duplicate: 0.02,
+				JitterMin: 5 * time.Microsecond, JitterMax: 100 * time.Microsecond,
+			},
+			Reliable:       &transport.ReliableConfig{Timeout: 2 * time.Millisecond},
+			RequestTimeout: 20 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	routes := make(map[hexgrid.CellID]string)
+	for c, i := range owner {
+		routes[c] = nodes[i].Addr()
+	}
+	for _, n := range nodes {
+		n.SetRoutes(routes)
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+
+	center := grid.InteriorCell()
+	targets := append([]hexgrid.CellID{center}, grid.Interference(center)...)
+	var wg sync.WaitGroup
+	total := 0
+	for i, c := range targets {
+		for k := 0; k < 4; k++ {
+			total++
+			wg.Add(1)
+			cell := c
+			host := nodes[owner[c]]
+			hold := time.Duration(1+(i+k)%3) * time.Millisecond
+			go func() {
+				defer wg.Done()
+				done := make(chan netrun.Result, 1)
+				host.Request(cell, func(r netrun.Result) { done <- r })
+				select {
+				case r := <-done:
+					if r.Granted {
+						time.Sleep(hold)
+						host.Release(cell, r.Ch)
+					}
+				case <-time.After(60 * time.Second):
+					t.Error("request hung despite reliability layer + watchdog")
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		out := 0
+		for _, n := range nodes {
+			out += n.Outstanding()
+		}
+		if out == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // in-flight releases
+	var agg transport.Stats
+	for _, n := range nodes {
+		agg.Add(n.Stats())
+	}
+	if agg.DropsInjected == 0 {
+		t.Fatalf("no faults injected over %d messages", agg.Total)
+	}
+	if agg.Retransmits == 0 {
+		t.Fatalf("drops injected but no retransmits: %+v", agg)
+	}
+	for _, a := range targets {
+		ua := nodes[owner[a]].InUse(a)
+		if ua.Empty() {
+			continue
+		}
+		for _, b := range grid.Interference(a) {
+			if ua.Intersects(nodes[owner[b]].InUse(b)) {
+				t.Fatalf("co-channel interference between %d and %d under faults", a, b)
+			}
+		}
+	}
 }

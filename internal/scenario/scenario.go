@@ -52,6 +52,20 @@ type Hotspot struct {
 	Radius int `json:"radius"`
 }
 
+// Fault is the JSON fault-model block for live-runtime scenarios: the
+// knobs of transport.FaultConfig plus the per-request deadline. All
+// probabilities are per message in [0, 1]; durations are microseconds
+// (wall time — the fault model degrades the live transport, not the
+// DES, whose delivery the engine owns).
+type Fault struct {
+	Seed             uint64  `json:"seed"`
+	Drop             float64 `json:"drop"`
+	Duplicate        float64 `json:"duplicate"`
+	Reorder          float64 `json:"reorder"`
+	JitterMaxMicros  int64   `json:"jitter_max_micros"`
+	RequestTimeoutMS int64   `json:"request_timeout_ms"`
+}
+
 // Workload is the JSON workload block.
 type Workload struct {
 	ErlangPerCell float64  `json:"erlang_per_cell"`
@@ -73,6 +87,7 @@ type Scenario struct {
 	MaxRounds    int       `json:"max_rounds"`
 	Adaptive     *Adaptive `json:"adaptive"`
 	Workload     *Workload `json:"workload"`
+	Fault        *Fault    `json:"fault"`
 }
 
 // Load parses the JSON file at path. Unknown fields are rejected —
@@ -120,6 +135,19 @@ func (sc Scenario) Validate() error {
 		}
 		if h := w.Hotspot; h != nil && (h.Erlang < 0 || h.Radius < 0) {
 			return fmt.Errorf("hotspot must be >= 0: %+v", *h)
+		}
+	}
+	if f := sc.Fault; f != nil {
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{{"drop", f.Drop}, {"duplicate", f.Duplicate}, {"reorder", f.Reorder}} {
+			if p.v < 0 || p.v > 1 {
+				return fmt.Errorf("fault %s probability %v outside [0,1]", p.name, p.v)
+			}
+		}
+		if f.JitterMaxMicros < 0 || f.RequestTimeoutMS < 0 {
+			return fmt.Errorf("fault durations must be >= 0: %+v", *f)
 		}
 	}
 	return nil

@@ -86,3 +86,48 @@ func TestValidateRanges(t *testing.T) {
 		}
 	}
 }
+
+func TestLoadFaultBlock(t *testing.T) {
+	sc, err := Load(write(t, `{
+		"scheme": "adaptive",
+		"fault": {
+			"seed": 9, "drop": 0.01, "duplicate": 0.02, "reorder": 0.03,
+			"jitter_max_micros": 200, "request_timeout_ms": 5000
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sc.Fault
+	if f == nil || f.Seed != 9 || f.Drop != 0.01 || f.JitterMaxMicros != 200 || f.RequestTimeoutMS != 5000 {
+		t.Fatalf("fault block: %+v", f)
+	}
+}
+
+func TestValidateFaultRanges(t *testing.T) {
+	bad := []string{
+		`{"fault": {"drop": -0.1}}`,
+		`{"fault": {"duplicate": 1.5}}`,
+		`{"fault": {"reorder": 2}}`,
+		`{"fault": {"jitter_max_micros": -1}}`,
+		`{"fault": {"request_timeout_ms": -1}}`,
+	}
+	for i, body := range bad {
+		if _, err := Load(write(t, body)); err == nil {
+			t.Errorf("case %d should fail: %s", i, body)
+		}
+	}
+}
+
+func TestShippedScenariosLoad(t *testing.T) {
+	// Every scenario file the repo ships must parse and validate.
+	files, err := filepath.Glob("../../scenarios/*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no shipped scenarios found: %v", err)
+	}
+	for _, p := range files {
+		if _, err := Load(p); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}

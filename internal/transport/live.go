@@ -19,6 +19,12 @@ import (
 // receiver's mailbox, so program order on the sender is delivery order.
 // With a positive Delay, each (from, to) link gets a dedicated pipeline
 // goroutine that sleeps Delay per message, preserving FIFO exactly.
+//
+// Shutdown: Stop closes a done channel instead of the mailboxes, so a
+// Send or Do racing (or arriving after) Stop is dropped cleanly rather
+// than panicking on a closed channel. Undelivered messages queued at
+// Stop time are discarded — callers that care drain with WaitIdle
+// first.
 type Live struct {
 	delay    time.Duration
 	capacity int
@@ -28,12 +34,17 @@ type Live struct {
 	handlers map[hexgrid.CellID]Handler
 	links    map[linkKey]chan message.Message
 	started  bool
+	stopped  bool
+	done     chan struct{}
 	wg       sync.WaitGroup
 	linkWG   sync.WaitGroup
 
 	inflight atomic.Int64 // enqueued-but-unprocessed closures + link queue
 	total    atomic.Uint64
 	byKind   [message.NumKinds]atomic.Uint64
+	// droppedOnStop counts sends/closures discarded because the
+	// transport was already stopped (shutdown-race accounting).
+	droppedOnStop atomic.Uint64
 }
 
 // NewLive creates a live transport. delay is the modeled one-way message
@@ -49,6 +60,7 @@ func NewLive(delay time.Duration, capacity int) *Live {
 		boxes:    make(map[hexgrid.CellID]chan func()),
 		handlers: make(map[hexgrid.CellID]Handler),
 		links:    make(map[linkKey]chan message.Message),
+		done:     make(chan struct{}),
 	}
 }
 
@@ -56,7 +68,7 @@ func NewLive(delay time.Duration, capacity int) *Live {
 func (l *Live) Attach(id hexgrid.CellID, h Handler) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.started {
+	if l.started || l.stopped {
 		panic("transport: Attach after Start")
 	}
 	l.handlers[id] = h
@@ -67,7 +79,7 @@ func (l *Live) Attach(id hexgrid.CellID, h Handler) {
 func (l *Live) Start() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.started {
+	if l.started || l.stopped {
 		panic("transport: double Start")
 	}
 	l.started = true
@@ -76,50 +88,69 @@ func (l *Live) Start() {
 		l.wg.Add(1)
 		go func() {
 			defer l.wg.Done()
-			for fn := range box {
-				fn()
-				l.inflight.Add(-1)
+			for {
+				select {
+				case fn := <-box:
+					fn()
+					l.inflight.Add(-1)
+				case <-l.done:
+					// Drain whatever is already queued without
+					// executing it, so inflight stays balanced.
+					for {
+						select {
+						case <-box:
+							l.inflight.Add(-1)
+							l.droppedOnStop.Add(1)
+						default:
+							return
+						}
+					}
+				}
 			}
 		}()
 	}
 }
 
-// Stop drains and terminates all station goroutines. No Send or Do may
-// race with Stop.
+// Stop terminates all station and link goroutines. Safe to call
+// concurrently with Send and Do: late traffic is dropped, never
+// panicked on.
 func (l *Live) Stop() {
 	l.mu.Lock()
-	if !l.started {
+	if !l.started || l.stopped {
 		l.mu.Unlock()
 		return
 	}
-	for _, link := range l.links {
-		close(link)
-	}
+	l.stopped = true
+	close(l.done)
 	l.mu.Unlock()
 	l.linkWG.Wait()
-	l.mu.Lock()
-	for _, box := range l.boxes {
-		close(box)
-	}
-	l.started = false
-	l.mu.Unlock()
 	l.wg.Wait()
 }
 
 // Do runs fn on the station goroutine of cell (serialized with its
-// message handling).
+// message handling). After Stop, fn is silently discarded.
 func (l *Live) Do(cell hexgrid.CellID, fn func()) {
 	l.mu.Lock()
 	box, ok := l.boxes[cell]
+	stopped := l.stopped
 	l.mu.Unlock()
 	if !ok {
 		panic(fmt.Sprintf("transport: Do on unattached cell %d", cell))
 	}
+	if stopped {
+		l.droppedOnStop.Add(1)
+		return
+	}
 	l.inflight.Add(1)
-	box <- fn
+	select {
+	case box <- fn:
+	case <-l.done:
+		l.inflight.Add(-1)
+		l.droppedOnStop.Add(1)
+	}
 }
 
-// Send implements Transport.
+// Send implements Transport. After Stop, messages are dropped cleanly.
 func (l *Live) Send(m message.Message) {
 	l.total.Add(1)
 	if int(m.Kind) < len(l.byKind) {
@@ -129,27 +160,51 @@ func (l *Live) Send(m message.Message) {
 		l.deliver(m)
 		return
 	}
+	ch := l.link(m.From, m.To)
+	if ch == nil {
+		l.droppedOnStop.Add(1)
+		return
+	}
 	l.inflight.Add(1)
-	l.link(m.From, m.To) <- m
+	select {
+	case ch <- m:
+	case <-l.done:
+		l.inflight.Add(-1)
+		l.droppedOnStop.Add(1)
+	}
 }
 
 func (l *Live) deliver(m message.Message) {
 	l.mu.Lock()
 	h, ok := l.handlers[m.To]
 	box := l.boxes[m.To]
+	stopped := l.stopped
 	l.mu.Unlock()
 	if !ok {
 		panic(fmt.Sprintf("transport: send to unattached cell %d: %v", m.To, m))
 	}
+	if stopped {
+		l.droppedOnStop.Add(1)
+		return
+	}
 	l.inflight.Add(1)
-	box <- func() { h.Handle(m) }
+	select {
+	case box <- func() { h.Handle(m) }:
+	case <-l.done:
+		l.inflight.Add(-1)
+		l.droppedOnStop.Add(1)
+	}
 }
 
-// link returns (lazily creating) the FIFO pipeline for one ordered pair.
+// link returns (lazily creating) the FIFO pipeline for one ordered pair,
+// or nil when the transport is stopped.
 func (l *Live) link(from, to hexgrid.CellID) chan message.Message {
 	key := linkKey{from, to}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.stopped {
+		return nil
+	}
 	ch, ok := l.links[key]
 	if !ok {
 		ch = make(chan message.Message, l.capacity)
@@ -157,10 +212,23 @@ func (l *Live) link(from, to hexgrid.CellID) chan message.Message {
 		l.linkWG.Add(1)
 		go func() {
 			defer l.linkWG.Done()
-			for m := range ch {
-				time.Sleep(l.delay)
-				l.deliver(m)
-				l.inflight.Add(-1)
+			for {
+				select {
+				case m := <-ch:
+					time.Sleep(l.delay)
+					l.deliver(m)
+					l.inflight.Add(-1)
+				case <-l.done:
+					for {
+						select {
+						case <-ch:
+							l.inflight.Add(-1)
+							l.droppedOnStop.Add(1)
+						default:
+							return
+						}
+					}
+				}
 			}
 		}()
 	}
@@ -169,6 +237,10 @@ func (l *Live) link(from, to hexgrid.CellID) chan message.Message {
 
 // Idle reports whether no message or closure is queued or in flight.
 func (l *Live) Idle() bool { return l.inflight.Load() == 0 }
+
+// DroppedOnStop reports how many sends and closures were discarded
+// because they raced with or followed Stop.
+func (l *Live) DroppedOnStop() uint64 { return l.droppedOnStop.Load() }
 
 // WaitIdle polls until the transport is idle or the timeout elapses;
 // it reports whether idleness was reached. Idle here means "no queued

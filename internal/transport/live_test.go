@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/chanset"
+	"repro/internal/hexgrid"
 	"repro/internal/message"
 )
 
@@ -136,4 +137,54 @@ func TestLiveStopIdempotent(t *testing.T) {
 	l.Start()
 	l.Stop()
 	l.Stop() // second stop is a no-op
+}
+
+func TestLiveSendAfterStopIsDropped(t *testing.T) {
+	// Regression: Send with delay > 0 after Stop used to write to a
+	// closed link channel and panic. It must drop cleanly instead.
+	l := NewLive(50*time.Microsecond, 16)
+	l.Attach(1, HandlerFunc(func(message.Message) {}))
+	l.Start()
+	l.Send(message.Message{Kind: message.Request, From: 0, To: 1})
+	l.WaitIdle(5 * time.Second)
+	l.Stop()
+	for i := 0; i < 10; i++ {
+		l.Send(message.Message{Kind: message.Request, From: 0, To: 1}) // must not panic
+		l.Do(1, func() { t.Error("closure ran after Stop") })
+	}
+	if l.DroppedOnStop() == 0 {
+		t.Fatal("post-stop sends were not counted as dropped")
+	}
+}
+
+func TestLiveSendRacingStop(t *testing.T) {
+	// Regression (run under -race): senders hammering a delayed link
+	// while Stop tears it down must neither panic nor race.
+	for trial := 0; trial < 20; trial++ {
+		l := NewLive(20*time.Microsecond, 8)
+		l.Attach(1, HandlerFunc(func(message.Message) {}))
+		l.Attach(2, HandlerFunc(func(message.Message) {}))
+		l.Start()
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					l.Send(message.Message{Kind: message.Release, From: 0, To: hexgrid.CellID(1 + g%2)})
+				}
+			}()
+		}
+		time.Sleep(200 * time.Microsecond)
+		l.Stop() // races with the senders by design
+		close(stop)
+		wg.Wait()
+	}
 }

@@ -48,6 +48,29 @@ type Stats struct {
 	Bytes uint64
 	// ByKind counts messages per message.Kind.
 	ByKind [message.NumKinds]uint64
+
+	// Fault-injection accounting (populated by Faulty; zero elsewhere).
+
+	// DropsInjected counts messages the fault layer discarded.
+	DropsInjected uint64
+	// DupsInjected counts extra copies the fault layer created.
+	DupsInjected uint64
+	// ReordersInjected counts messages the fault layer held back past
+	// their successors.
+	ReordersInjected uint64
+
+	// Reliability-layer accounting (populated by Reliable; zero
+	// elsewhere).
+
+	// Retransmits counts timeout-driven resends.
+	Retransmits uint64
+	// DupsSuppressed counts received messages discarded as duplicates.
+	DupsSuppressed uint64
+	// AcksSent counts acknowledgements emitted by the receive side.
+	AcksSent uint64
+	// RetryExhausted counts messages abandoned after the retransmit
+	// budget ran out.
+	RetryExhausted uint64
 }
 
 // Add accumulates o into s.
@@ -57,6 +80,13 @@ func (s *Stats) Add(o Stats) {
 	for i := range s.ByKind {
 		s.ByKind[i] += o.ByKind[i]
 	}
+	s.DropsInjected += o.DropsInjected
+	s.DupsInjected += o.DupsInjected
+	s.ReordersInjected += o.ReordersInjected
+	s.Retransmits += o.Retransmits
+	s.DupsSuppressed += o.DupsSuppressed
+	s.AcksSent += o.AcksSent
+	s.RetryExhausted += o.RetryExhausted
 }
 
 // count records one sent message (shared by implementations).
@@ -65,4 +95,20 @@ func (s *Stats) count(m message.Message) {
 	if int(m.Kind) < len(s.ByKind) {
 		s.ByKind[m.Kind]++
 	}
+}
+
+// Idler is implemented by transports that can report quiescence (Live
+// and the decorators stacked on it). Decorators combine their own
+// pending work with the layer beneath via innerIdle.
+type Idler interface {
+	Idle() bool
+}
+
+// innerIdle reports whether t is idle, treating transports without an
+// idleness notion (e.g. DES, where the engine owns time) as always idle.
+func innerIdle(t Transport) bool {
+	if i, ok := t.(Idler); ok {
+		return i.Idle()
+	}
+	return true
 }
