@@ -16,18 +16,22 @@
 //	net, _ := adca.New(adca.Scenario{Scheme: "adaptive", Channels: 70})
 //	id := net.Request(3, func(r adca.Result) { fmt.Println(r.Granted, r.Channel) })
 //	net.RunUntilIdle()
-//	_ = id
+//	_ = id // matches Result.ID in the callback
 //
-// Everything is deterministic given Scenario.Seed.
+// Everything is deterministic given Scenario.Seed — including with
+// observability enabled (Scenario.Obs): instruments observe the
+// protocol but never feed back into it.
 package adca
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/chanset"
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/hexgrid"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/traffic"
@@ -60,6 +64,23 @@ type Scenario struct {
 	Adaptive *AdaptiveParams
 	// MaxRounds caps the retries of the update-based baselines.
 	MaxRounds int
+	// Obs, when non-nil, enables observability: labeled metrics (and
+	// optionally a Prometheus endpoint and a JSONL event journal).
+	Obs *ObsConfig
+}
+
+// ObsConfig enables the observability layer of a Network. The zero
+// value collects metrics in memory only (read them with
+// Network.Metrics or Network.WriteMetrics).
+type ObsConfig struct {
+	// MetricsAddr, when non-empty, serves the Prometheus text
+	// exposition format over HTTP at this address (e.g. ":9090"; use
+	// ":0" for an ephemeral port and read it back with MetricsAddr).
+	MetricsAddr string
+	// Journal, when non-nil, receives one JSON object per protocol and
+	// lifecycle event (JSONL). The writer stays owned by the caller;
+	// Network.Close flushes it but does not close it.
+	Journal io.Writer
 }
 
 // AdaptiveParams are the paper's tuning knobs (θ_l, θ_h, α, W).
@@ -69,8 +90,15 @@ type AdaptiveParams struct {
 	WindowTicks         int64
 }
 
+// RequestID identifies one channel request of a Network. IDs are
+// assigned in submission order, starting at 1, and increase
+// monotonically across Request and RequestAt.
+type RequestID int64
+
 // Result reports one completed channel request.
 type Result struct {
+	// ID is the identifier Request/RequestAt returned for this request.
+	ID RequestID
 	// Cell is where the request was made.
 	Cell int
 	// Granted tells whether a channel was allocated.
@@ -89,10 +117,55 @@ func Schemes() []string { return registry.Names() }
 type Network struct {
 	sim    *driver.Sim
 	scheme string
+	nextID RequestID
+
+	reg     *obs.Registry
+	journal *obs.Journal
+	metrics *obs.Server
+}
+
+// validate rejects nonsense field values with descriptive errors before
+// they can surface as panics deep inside grid, histogram or predictor
+// construction. Zero values are fine (they select defaults); negatives
+// and inverted parameter bands are not.
+func (sc Scenario) validate() error {
+	switch {
+	case sc.GridWidth < 0:
+		return fmt.Errorf("adca: GridWidth must be >= 0, got %d", sc.GridWidth)
+	case sc.GridHeight < 0:
+		return fmt.Errorf("adca: GridHeight must be >= 0, got %d", sc.GridHeight)
+	case sc.ReuseDistance < 0:
+		return fmt.Errorf("adca: ReuseDistance must be >= 0, got %d", sc.ReuseDistance)
+	case sc.Channels < 0:
+		return fmt.Errorf("adca: Channels must be >= 0, got %d", sc.Channels)
+	case sc.LatencyTicks < 0:
+		return fmt.Errorf("adca: LatencyTicks must be >= 0, got %d", sc.LatencyTicks)
+	case sc.JitterTicks < 0:
+		return fmt.Errorf("adca: JitterTicks must be >= 0, got %d", sc.JitterTicks)
+	case sc.MaxRounds < 0:
+		return fmt.Errorf("adca: MaxRounds must be >= 0, got %d", sc.MaxRounds)
+	}
+	if p := sc.Adaptive; p != nil {
+		switch {
+		case p.ThetaLow <= 0:
+			return fmt.Errorf("adca: Adaptive.ThetaLow must be > 0, got %v", p.ThetaLow)
+		case p.ThetaHigh <= p.ThetaLow:
+			return fmt.Errorf("adca: Adaptive.ThetaHigh (%v) must exceed ThetaLow (%v)",
+				p.ThetaHigh, p.ThetaLow)
+		case p.Alpha < 0:
+			return fmt.Errorf("adca: Adaptive.Alpha must be >= 0, got %d", p.Alpha)
+		case p.WindowTicks <= 0:
+			return fmt.Errorf("adca: Adaptive.WindowTicks must be > 0, got %d", p.WindowTicks)
+		}
+	}
+	return nil
 }
 
 // New builds a Network from the scenario.
 func New(sc Scenario) (*Network, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
 	if sc.Scheme == "" {
 		sc.Scheme = "adaptive"
 	}
@@ -133,17 +206,34 @@ func New(sc Scenario) (*Network, error) {
 			Window:    sim.Time(sc.Adaptive.WindowTicks),
 		}
 	}
+	n := &Network{scheme: sc.Scheme}
+	if sc.Obs != nil {
+		n.reg = obs.New()
+		if sc.Obs.Journal != nil {
+			n.journal = obs.NewJournal(sc.Obs.Journal)
+		}
+		cfg.Obs = obs.NewProtocol(n.reg, n.journal)
+	}
 	factory, err := registry.Build(sc.Scheme, grid, assign, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("adca: %w", err)
 	}
-	s := driver.New(grid, assign, factory, driver.Options{
+	n.sim = driver.New(grid, assign, factory, driver.Options{
 		Latency: sim.Time(sc.LatencyTicks),
 		Jitter:  sim.Time(sc.JitterTicks),
 		Seed:    sc.Seed,
 		Check:   sc.CheckInterference,
+		Obs:     n.reg,
+		Journal: n.journal,
 	})
-	return &Network{sim: s, scheme: sc.Scheme}, nil
+	if sc.Obs != nil && sc.Obs.MetricsAddr != "" {
+		srv, err := obs.Serve(sc.Obs.MetricsAddr, n.reg)
+		if err != nil {
+			return nil, fmt.Errorf("adca: metrics endpoint: %w", err)
+		}
+		n.metrics = srv
+	}
+	return n, nil
 }
 
 // MustNew is New but panics on error (for examples and tests).
@@ -207,11 +297,30 @@ func (n *Network) Mode(cell int) int { return n.sim.Allocator(hexgrid.CellID(cel
 func (n *Network) Now() int64 { return int64(n.sim.Engine().Now()) }
 
 // Request submits a channel request at cell; cb (may be nil) runs when
-// it completes. Use RunFor/RunUntilIdle to make progress.
-func (n *Network) Request(cell int, cb func(Result)) {
+// it completes, with Result.ID set to the returned id. Use
+// RunFor/RunUntilIdle to make progress.
+func (n *Network) Request(cell int, cb func(Result)) RequestID {
+	n.nextID++
+	id := n.nextID
+	n.submit(id, cell, cb)
+	return id
+}
+
+// RequestAt schedules a request at an absolute virtual time. The id is
+// assigned now (monotonic in scheduling order, shared with Request) and
+// stamped into the Result when the request completes.
+func (n *Network) RequestAt(at int64, cell int, cb func(Result)) RequestID {
+	n.nextID++
+	id := n.nextID
+	n.sim.Engine().At(sim.Time(at), func() { n.submit(id, cell, cb) })
+	return id
+}
+
+func (n *Network) submit(id RequestID, cell int, cb func(Result)) {
 	n.sim.Request(hexgrid.CellID(cell), func(r driver.Result) {
 		if cb != nil {
 			cb(Result{
+				ID:           id,
 				Cell:         int(r.Cell),
 				Granted:      r.Granted,
 				Channel:      int(r.Ch),
@@ -220,11 +329,6 @@ func (n *Network) Request(cell int, cb func(Result)) {
 			})
 		}
 	})
-}
-
-// RequestAt schedules a request at an absolute virtual time.
-func (n *Network) RequestAt(at int64, cell int, cb func(Result)) {
-	n.sim.Engine().At(sim.Time(at), func() { n.Request(cell, cb) })
 }
 
 // Release returns a previously granted channel at cell.
@@ -252,6 +356,11 @@ func (n *Network) CheckInterference() error { return n.sim.CheckInvariant() }
 type Stats struct {
 	// Grants and Denies count completed requests.
 	Grants, Denies uint64
+	// ProtocolDenies counts requests the allocation protocol itself
+	// denied (no free channel in the interference region). On this
+	// deterministic runtime it equals Denies; runtimes with deadline
+	// watchdogs report fewer protocol denies than total denies.
+	ProtocolDenies uint64
 	// Messages is the total control messages sent.
 	Messages uint64
 	// MeanAcquireTicks is the mean channel acquisition time of granted
@@ -266,6 +375,33 @@ type Stats struct {
 	// LocalGrants/UpdateGrants/SearchGrants split grants by
 	// acquisition path (ξ1/ξ2/ξ3 numerators).
 	LocalGrants, UpdateGrants, SearchGrants uint64
+	// UpdateAttempts counts borrowing-update permission rounds
+	// (successful or not; the paper's m numerator).
+	UpdateAttempts uint64
+	// ModeChanges counts local<->borrowing hysteresis transitions.
+	ModeChanges uint64
+	// Deferred counts requests parked in a DeferQ (timestamp races).
+	Deferred uint64
+	// BadReleases counts Release calls for channels the cell did not
+	// hold (rejected with an error, state untouched).
+	BadReleases uint64
+	// Transport is the transport-layer accounting.
+	Transport TransportStats
+}
+
+// TransportStats is the transport-layer slice of Stats. The fault
+// injection and reliability counters stay zero on the deterministic DES
+// runtime (which models a reliable fabric) and become meaningful on the
+// live and distributed runtimes.
+type TransportStats struct {
+	// Messages and WireBytes count transport traffic (bytes only when
+	// the wire codec is engaged).
+	Messages, WireBytes uint64
+	// DropsInjected/DupsInjected/ReordersInjected count injected faults.
+	DropsInjected, DupsInjected, ReordersInjected uint64
+	// Retransmits/DupsSuppressed/AcksSent/RetryExhausted count
+	// reliability-layer work.
+	Retransmits, DupsSuppressed, AcksSent, RetryExhausted uint64
 }
 
 // Stats returns the current statistics snapshot.
@@ -274,6 +410,7 @@ func (n *Network) Stats() Stats {
 	return Stats{
 		Grants:              st.Grants,
 		Denies:              st.Denies,
+		ProtocolDenies:      st.Counters.Drops,
 		Messages:            st.Messages.Total,
 		MeanAcquireTicks:    st.AcqDelay.Mean(),
 		P95AcquireTicks:     st.DelayP95,
@@ -282,7 +419,53 @@ func (n *Network) Stats() Stats {
 		LocalGrants:         st.Counters.GrantsLocal,
 		UpdateGrants:        st.Counters.GrantsUpdate,
 		SearchGrants:        st.Counters.GrantsSearch,
+		UpdateAttempts:      st.Counters.UpdateAttempts,
+		ModeChanges:         st.Counters.ModeChanges,
+		Deferred:            st.Counters.Deferred,
+		BadReleases:         st.Counters.BadReleases,
+		Transport: TransportStats{
+			Messages:         st.Messages.Total,
+			WireBytes:        st.Messages.Bytes,
+			DropsInjected:    st.Messages.DropsInjected,
+			DupsInjected:     st.Messages.DupsInjected,
+			ReordersInjected: st.Messages.ReordersInjected,
+			Retransmits:      st.Messages.Retransmits,
+			DupsSuppressed:   st.Messages.DupsSuppressed,
+			AcksSent:         st.Messages.AcksSent,
+			RetryExhausted:   st.Messages.RetryExhausted,
+		},
 	}
+}
+
+// Metrics snapshots every registered metric as exposition-style keys
+// (e.g. `adca_grants_total{path="local"}`). Nil when the scenario did
+// not enable Obs.
+func (n *Network) Metrics() map[string]float64 { return n.reg.Snapshot() }
+
+// WriteMetrics renders the metrics in the Prometheus text exposition
+// format. A no-op when Obs was not enabled.
+func (n *Network) WriteMetrics(w io.Writer) error { return n.reg.WritePrometheus(w) }
+
+// MetricsAddr returns the bound address of the metrics endpoint, or ""
+// when none is serving (useful with ObsConfig.MetricsAddr ":0").
+func (n *Network) MetricsAddr() string {
+	if n.metrics == nil {
+		return ""
+	}
+	return n.metrics.Addr()
+}
+
+// Close releases observability resources: it shuts down the metrics
+// endpoint (if any) and flushes the journal (the journal's underlying
+// writer stays open — it belongs to the caller). Safe to call on
+// networks without Obs, and more than once.
+func (n *Network) Close() error {
+	err := n.metrics.Close()
+	n.metrics = nil
+	if ferr := n.journal.Flush(); err == nil {
+		err = ferr
+	}
+	return err
 }
 
 // Workload describes Poisson call traffic for RunWorkload.

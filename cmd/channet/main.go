@@ -9,8 +9,15 @@
 // reliable-FIFO contract, and -timeout bounds each request's lifetime
 // so a wedged link becomes a counted denial instead of a hang.
 //
+// Observability: -metrics serves the Prometheus text format over HTTP
+// (protocol metrics aggregated across all nodes in this process plus
+// per-node transport counters summed at scrape time); -journal writes
+// one JSON object per protocol event; -linger keeps the endpoint up
+// after the run for scraping.
+//
 //	channet -nodes 4 -calls 40
 //	channet -drop 0.02 -dup 0.01 -jitter 200us -timeout 10s
+//	channet -metrics :9090 -journal run.jsonl -linger 1m
 package main
 
 import (
@@ -24,24 +31,44 @@ import (
 	"repro/internal/hexgrid"
 	"repro/internal/metrics"
 	"repro/internal/netrun"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		nNodes  = flag.Int("nodes", 4, "number of TCP nodes to partition the cells across")
-		calls   = flag.Int("calls", 40, "concurrent calls to place in one interference region")
-		chans   = flag.Int("channels", 21, "spectrum size (21 = 3 primaries per cell)")
-		scheme  = flag.String("scheme", "adaptive", "allocation scheme")
-		drop    = flag.Float64("drop", 0, "per-message drop probability injected at each node")
-		dup     = flag.Float64("dup", 0, "per-message duplication probability")
-		reorder = flag.Float64("reorder", 0, "per-message reordering probability")
-		jitter  = flag.Duration("jitter", 0, "max extra per-message latency (uniform in [0, jitter])")
-		seed    = flag.Uint64("seed", 1, "fault-injection seed")
-		timeout = flag.Duration("timeout", 15*time.Second, "per-request deadline (0 disables the watchdog)")
+		nNodes      = flag.Int("nodes", 4, "number of TCP nodes to partition the cells across")
+		calls       = flag.Int("calls", 40, "concurrent calls to place in one interference region")
+		chans       = flag.Int("channels", 21, "spectrum size (21 = 3 primaries per cell)")
+		scheme      = flag.String("scheme", "adaptive", "allocation scheme")
+		drop        = flag.Float64("drop", 0, "per-message drop probability injected at each node")
+		dup         = flag.Float64("dup", 0, "per-message duplication probability")
+		reorder     = flag.Float64("reorder", 0, "per-message reordering probability")
+		jitter      = flag.Duration("jitter", 0, "max extra per-message latency (uniform in [0, jitter])")
+		seed        = flag.Uint64("seed", 1, "fault-injection seed")
+		timeout     = flag.Duration("timeout", 15*time.Second, "per-request deadline (0 disables the watchdog)")
+		metricsAddr = flag.String("metrics", "", "serve Prometheus text metrics at this address (e.g. :9090)")
+		journalPath = flag.String("journal", "", "write a JSONL event journal to this file")
+		linger      = flag.Duration("linger", 0, "keep the metrics endpoint up this long after the run")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.New()
+	}
+	var journal *obs.Journal
+	if *journalPath != "" {
+		jf, err := os.Create(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer jf.Close()
+		journal = obs.NewJournal(jf)
+		defer journal.Close()
+	}
 
 	grid := hexgrid.MustNew(hexgrid.Config{Shape: hexgrid.Rect, Width: 7, Height: 7, ReuseDistance: 2, Wrap: true})
 	assign, err := chanset.Assign(grid, *chans)
@@ -49,10 +76,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	factory, err := registry.Build(*scheme, grid, assign, registry.Config{Latency: 10})
+	// One factory (and so one protocol instrument bundle) is shared by
+	// every node in this process: same-named counters aggregate across
+	// cells, so the endpoint reports fleet-wide protocol totals.
+	factory, err := registry.Build(*scheme, grid, assign, registry.Config{
+		Latency: 10,
+		Obs:     obs.NewProtocol(reg, journal),
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	var srv *obs.Server
+	if *metricsAddr != "" {
+		srv, err = obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr())
 	}
 
 	var fault *transport.FaultConfig
@@ -80,6 +124,7 @@ func main() {
 		cfg := netrun.Config{
 			Cells: parts[i], LatencyTicks: 10, Seed: uint64(i) + 1,
 			RequestTimeout: *timeout,
+			Obs:            reg, Journal: journal,
 		}
 		if fault != nil {
 			f := *fault
@@ -178,4 +223,8 @@ func main() {
 		}
 	}
 	fmt.Println("no co-channel interference across the distributed run")
+	if srv != nil && *linger > 0 {
+		fmt.Printf("metrics: lingering at http://%s/metrics for %v\n", srv.Addr(), *linger)
+		time.Sleep(*linger)
+	}
 }

@@ -2,11 +2,16 @@
 // prints a report: blocking, handoff drops, acquisition latency, message
 // overhead and the adaptive scheme's acquisition-path mix.
 //
+// Observability: -metrics serves the run's labeled metrics as
+// Prometheus text over HTTP (add -linger to keep the endpoint up after
+// the report); -journal writes a JSONL protocol event journal.
+//
 // Examples:
 //
 //	chansim -scheme adaptive -erlang 6
 //	chansim -scheme fixed -hot-erlang 25
 //	chansim -scheme basic-update -erlang 9 -seed 7
+//	chansim -erlang 9 -metrics :9090 -linger 1m -journal run.jsonl
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/scenario"
@@ -37,6 +43,10 @@ func main() {
 		warmup    = flag.Int64("warmup", 20_000, "warmup excluded from stats (ticks)")
 		seed      = flag.Uint64("seed", 1, "random seed (runs are deterministic per seed)")
 		check     = flag.Bool("check", true, "verify the interference invariant on every grant")
+
+		metricsAddr = flag.String("metrics", "", "serve Prometheus text metrics at this address (e.g. :9090)")
+		journalPath = flag.String("journal", "", "write a JSONL event journal to this file")
+		linger      = flag.Duration("linger", 0, "keep the metrics endpoint up this long after the report")
 	)
 	flag.Parse()
 	if *height == 0 {
@@ -100,10 +110,27 @@ func main() {
 			}
 		}
 	}
+	if *metricsAddr != "" || *journalPath != "" {
+		oc := &adca.ObsConfig{MetricsAddr: *metricsAddr}
+		if *journalPath != "" {
+			jf, err := os.Create(*journalPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer jf.Close()
+			oc.Journal = jf
+		}
+		sc.Obs = oc
+	}
 	net, err := adca.New(sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	defer net.Close()
+	if addr := net.MetricsAddr(); addr != "" {
+		fmt.Printf("metrics           http://%s/metrics\n", addr)
 	}
 	if *hotErlang > 0 && *config == "" {
 		w.HotErlang = *hotErlang
@@ -144,4 +171,8 @@ func main() {
 			float64(st.SearchGrants)/float64(grants))
 	}
 	fmt.Printf("invariant         ok (no co-channel interference)\n")
+	if addr := net.MetricsAddr(); addr != "" && *linger > 0 {
+		fmt.Printf("metrics           lingering at http://%s/metrics for %v\n", addr, *linger)
+		time.Sleep(*linger)
+	}
 }

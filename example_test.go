@@ -1,26 +1,47 @@
 package adca_test
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro"
 )
 
 // The basic request/release cycle: a lightly loaded cell serves from
-// its primary channels with zero messages and zero delay.
+// its primary channels with zero messages and zero delay. Request
+// returns an id that reappears as Result.ID in the callback.
 func Example() {
 	net := adca.MustNew(adca.Scenario{
 		Scheme: "adaptive", Wrap: true, Seed: 1, CheckInterference: true,
 	})
-	net.Request(0, func(r adca.Result) {
-		fmt.Println("granted:", r.Granted, "acquire ticks:", r.AcquireTicks)
+	id := net.Request(0, func(r adca.Result) {
+		fmt.Println("request", r.ID, "granted:", r.Granted, "acquire ticks:", r.AcquireTicks)
 	})
 	net.RunUntilIdle()
 	st := net.Stats()
-	fmt.Println("messages:", st.Messages)
+	fmt.Println("issued:", id, "messages:", st.Messages)
 	// Output:
-	// granted: true acquire ticks: 0
-	// messages: 0
+	// request 1 granted: true acquire ticks: 0
+	// issued: 1 messages: 0
+}
+
+// Scenario.Obs turns on the observability layer: labeled metrics
+// readable in-process (or served as Prometheus text via MetricsAddr)
+// and a JSONL event journal.
+func ExampleNetwork_Metrics() {
+	var journal bytes.Buffer
+	net := adca.MustNew(adca.Scenario{
+		Wrap: true, Seed: 1,
+		Obs: &adca.ObsConfig{Journal: &journal},
+	})
+	net.Request(0, nil)
+	net.RunUntilIdle()
+	net.Close() // flushes the journal
+	fmt.Println("local grants:", net.Metrics()[`adca_grants_total{path="local"}`])
+	fmt.Println("journaled events:", journal.Len() > 0)
+	// Output:
+	// local grants: 1
+	// journaled events: true
 }
 
 // Schemes lists every allocation scheme this library implements: the

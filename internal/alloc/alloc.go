@@ -102,6 +102,9 @@ type Counters struct {
 	// BadReleases counts Release calls for channels the cell did not
 	// hold (rejected with an error, state untouched).
 	BadReleases uint64
+	// Deferred counts incoming requests parked in DeferQ (timestamp
+	// races lost by the requester; zero for the non-adaptive schemes).
+	Deferred uint64
 }
 
 // Add accumulates o into c.
@@ -113,6 +116,7 @@ func (c *Counters) Add(o Counters) {
 	c.UpdateAttempts += o.UpdateAttempts
 	c.ModeChanges += o.ModeChanges
 	c.BadReleases += o.BadReleases
+	c.Deferred += o.Deferred
 }
 
 // Grants returns the total successful acquisitions.

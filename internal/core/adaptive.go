@@ -18,6 +18,7 @@ import (
 	"repro/internal/hexgrid"
 	"repro/internal/lamport"
 	"repro/internal/message"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -121,6 +122,7 @@ type Factory struct {
 	grid   *hexgrid.Grid
 	assign *chanset.Assignment
 	params Params
+	obs    *obs.Protocol
 }
 
 // NewFactory validates params and returns a Factory.
@@ -134,12 +136,24 @@ func NewFactory(grid *hexgrid.Grid, assign *chanset.Assignment, params Params) (
 // Name implements alloc.Factory.
 func (f *Factory) Name() string { return "adaptive" }
 
+// Instrument binds every allocator this factory creates from now on to
+// the given instrument bundle. A nil bundle (the default) keeps the
+// protocol core fully uninstrumented — the zero-value obs.Protocol's
+// nil instruments are allocation-free no-ops, so hot paths pay only a
+// nil check. Instruments observe the protocol; they never feed back
+// into its decisions, so enabling them cannot perturb DES determinism.
+func (f *Factory) Instrument(p *obs.Protocol) { f.obs = p }
+
 // New implements alloc.Factory.
 func (f *Factory) New(cell hexgrid.CellID) alloc.Allocator {
-	return &Adaptive{
+	a := &Adaptive{
 		factory: f,
 		cell:    cell,
 	}
+	if f.obs != nil {
+		a.obs = *f.obs
+	}
+	return a
 }
 
 // Mode values of the paper (the mode_i variable).
@@ -194,6 +208,7 @@ type Adaptive struct {
 	req    *request // active request FSM, nil when idle
 
 	counters alloc.Counters
+	obs      obs.Protocol // zero value: disabled (nil instruments no-op)
 }
 
 // Start implements alloc.Allocator.
@@ -345,14 +360,31 @@ func (a *Adaptive) checkMode() {
 	case a.mode == ModeLocal && next < p.ThetaLow:
 		a.mode = ModeBorrow
 		a.counters.ModeChanges++
+		a.modeEvent(ModeLocal, ModeBorrow, next)
 		alloc.Broadcast(a.env, message.Message{
 			Kind: message.ChangeMode, From: a.cell, Mode: message.ModeBorrowing,
 		}, a.neighbors)
 	case a.mode == ModeBorrow && next >= p.ThetaHigh && a.req == nil:
 		a.mode = ModeLocal
 		a.counters.ModeChanges++
+		a.modeEvent(ModeBorrow, ModeLocal, next)
 		alloc.Broadcast(a.env, message.Message{
 			Kind: message.ChangeMode, From: a.cell, Mode: message.ModeLocal,
 		}, a.neighbors)
+	}
+}
+
+// modeEvent instruments one hysteresis transition: the labeled
+// transition counter plus a "mode" journal record carrying the old and
+// new mode and the NFC predictor value that drove the switch.
+func (a *Adaptive) modeEvent(from, to int, pred float64) {
+	if to == ModeBorrow {
+		a.obs.ModeToBorrowing.Inc()
+	} else {
+		a.obs.ModeToLocal.Inc()
+	}
+	if a.obs.Journal != nil {
+		a.obs.Journal.Emit(int64(a.env.Now()), "mode", int(a.cell),
+			obs.FI("old", int64(from)), obs.FI("new", int64(to)), obs.F("pred", pred))
 	}
 }

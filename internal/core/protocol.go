@@ -8,6 +8,7 @@ import (
 	"repro/internal/hexgrid"
 	"repro/internal/lamport"
 	"repro/internal/message"
+	"repro/internal/obs"
 )
 
 // The paper's Request_Channel (Figure 2) is blocking pseudo-code with
@@ -72,6 +73,7 @@ func (a *Adaptive) dispatch() {
 			// searcher is concurrently selecting.
 			a.pending = true
 			r.ph = phaseQuiesce
+			a.stallEvent()
 			return
 		}
 		a.pending = false
@@ -103,7 +105,18 @@ func (a *Adaptive) dispatch() {
 func (a *Adaptive) forceBorrow() {
 	a.mode = ModeBorrow
 	a.counters.ModeChanges++
+	a.modeEvent(ModeLocal, ModeBorrow, 0)
 	broadcast(a, message.Message{Kind: message.ChangeMode, Mode: message.ModeBorrowing})
+}
+
+// stallEvent instruments one quiescence stall (a request parked in
+// phaseQuiesce behind waiting_i > 0).
+func (a *Adaptive) stallEvent() {
+	a.obs.QuiesceStalls.Inc()
+	if a.obs.Journal != nil {
+		a.obs.Journal.Emit(int64(a.env.Now()), "stall", int(a.cell),
+			obs.FI("waiting", int64(a.waiting)), obs.FI("req", int64(a.req.id)))
+	}
 }
 
 // dispatchBorrow is the borrowing branch of Request_Channel.
@@ -119,6 +132,7 @@ func (a *Adaptive) dispatchBorrow() {
 		if a.waiting > 0 {
 			a.pending = true
 			r.ph = phaseQuiesce
+			a.stallEvent()
 			return
 		}
 		a.finishGrant(ch, pathLocal)
@@ -135,6 +149,12 @@ func (a *Adaptive) dispatchBorrow() {
 		// and ask the whole interference region for permission.
 		a.mode = ModeBorrowUpdate
 		a.counters.UpdateAttempts++
+		a.obs.BorrowAttempts.Inc()
+		if a.obs.Journal != nil {
+			a.obs.Journal.Emit(int64(a.env.Now()), "borrow", int(a.cell),
+				obs.FI("lender", int64(j)), obs.FI("ch", int64(ch)),
+				obs.FI("round", int64(a.rounds)))
+		}
 		r.ph = phaseGrants
 		r.ch = ch
 		r.awaiting = a.awaitAll()
@@ -152,6 +172,11 @@ func (a *Adaptive) dispatchBorrow() {
 	// timestamp order sequentializes concurrent requests, so a free
 	// channel is found whenever one exists.
 	a.mode = ModeBorrowSearch
+	a.obs.BorrowSearches.Inc()
+	if a.obs.Journal != nil {
+		a.obs.Journal.Emit(int64(a.env.Now()), "search", int(a.cell),
+			obs.FI("round", int64(a.rounds)))
+	}
 	r.ph = phaseSearch
 	r.awaiting = a.awaitAll()
 	broadcast(a, message.Message{
@@ -172,6 +197,11 @@ func (a *Adaptive) completeGrants() {
 	}
 	// Failed: release the permissions we did get, then retry (the
 	// granters added ch to their interference sets when granting).
+	a.obs.BorrowRejected.Inc()
+	if a.obs.Journal != nil {
+		a.obs.Journal.Emit(int64(a.env.Now()), "borrow_rejected", int(a.cell),
+			obs.FI("ch", int64(r.ch)), obs.FI("round", int64(a.rounds)))
+	}
 	a.mode = ModeBorrow
 	for _, g := range r.granted {
 		a.env.Send(message.Message{
@@ -194,6 +224,11 @@ func (a *Adaptive) completeSearch() {
 	// neighbors decrement their waiting counters (DESIGN.md D6).
 	a.acquire(chanset.NoChannel)
 	a.counters.Drops++
+	a.obs.Denies.Inc()
+	if a.obs.Journal != nil {
+		a.obs.Journal.Emit(int64(a.env.Now()), "deny", int(a.cell),
+			obs.FI("req", int64(r.id)))
+	}
 	id := r.id
 	a.req = nil
 	a.env.Denied(id)
@@ -205,13 +240,25 @@ func (a *Adaptive) completeSearch() {
 func (a *Adaptive) finishGrant(ch chanset.Channel, path int) {
 	r := a.req
 	a.acquire(ch)
+	var pathName string
 	switch path {
 	case pathLocal:
 		a.counters.GrantsLocal++
+		a.obs.GrantsLocal.Inc()
+		pathName = "local"
 	case pathUpdate:
 		a.counters.GrantsUpdate++
+		a.obs.GrantsUpdate.Inc()
+		pathName = "update"
 	case pathSearch:
 		a.counters.GrantsSearch++
+		a.obs.GrantsSearch.Inc()
+		pathName = "search"
+	}
+	if a.obs.Journal != nil {
+		a.obs.Journal.Emit(int64(a.env.Now()), "grant", int(a.cell),
+			obs.FS("path", pathName), obs.FI("ch", int64(ch)),
+			obs.FI("req", int64(r.id)))
 	}
 	id := r.id
 	a.req = nil
@@ -250,6 +297,9 @@ func (a *Adaptive) acquire(ch chanset.Channel) {
 	// Drain DeferQ_i.
 	q := a.deferQ
 	a.deferQ = nil
+	if len(q) > 0 {
+		a.obs.DeferQueueDepth.Add(-float64(len(q)))
+	}
 	for _, d := range q {
 		if d.search {
 			a.waiting++
@@ -287,6 +337,11 @@ func (a *Adaptive) acquire(ch chanset.Channel) {
 func (a *Adaptive) Release(ch chanset.Channel) error {
 	if !a.use.Contains(ch) {
 		a.counters.BadReleases++
+		a.obs.BadReleases.Inc()
+		if a.obs.Journal != nil {
+			a.obs.Journal.Emit(int64(a.env.Now()), "bad_release", int(a.cell),
+				obs.FI("ch", int64(ch)))
+		}
 		return fmt.Errorf("core: cell %d releasing channel %d it does not hold", a.cell, ch)
 	}
 	// Repacking extension: keep the freed primary in service by moving
@@ -368,7 +423,7 @@ func (a *Adaptive) onRequest(m message.Message) {
 			case a.use.Contains(m.Ch):
 				a.sendReject(m)
 			case a.req.ts.Less(m.TS):
-				a.deferQ = append(a.deferQ, deferred{ch: m.Ch, ts: m.TS, from: m.From})
+				a.deferPush(deferred{ch: m.Ch, ts: m.TS, from: m.From})
 			default:
 				a.sendGrant(m)
 			}
@@ -385,16 +440,35 @@ func (a *Adaptive) onRequest(m message.Message) {
 		// borrowing-mode quiescence of DESIGN.md D8, or a hot region
 		// livelocks (observed at 1.1 Erlang/primary).
 		if a.pending && a.req != nil && a.req.ts.Less(m.TS) {
-			a.deferQ = append(a.deferQ, deferred{search: true, ts: m.TS, from: m.From})
+			a.deferPush(deferred{search: true, ts: m.TS, from: m.From})
 		} else {
 			a.respondSearch(m)
 		}
 	case ModeBorrowUpdate, ModeBorrowSearch:
 		if a.req.ts.Less(m.TS) {
-			a.deferQ = append(a.deferQ, deferred{search: true, ts: m.TS, from: m.From})
+			a.deferPush(deferred{search: true, ts: m.TS, from: m.From})
 		} else {
 			a.respondSearch(m)
 		}
+	}
+}
+
+// deferPush appends one entry to DeferQ_i and instruments the deferral
+// (total deferrals plus the live aggregate queue-depth gauge; the drain
+// in acquire decrements the gauge).
+func (a *Adaptive) deferPush(d deferred) {
+	a.deferQ = append(a.deferQ, d)
+	a.counters.Deferred++
+	a.obs.DeferredTotal.Inc()
+	a.obs.DeferQueueDepth.Add(1)
+	if a.obs.Journal != nil {
+		kind := "update"
+		if d.search {
+			kind = "search"
+		}
+		a.obs.Journal.Emit(int64(a.env.Now()), "defer", int(a.cell),
+			obs.FS("req_kind", kind), obs.FI("from", int64(d.from)),
+			obs.FI("depth", int64(len(a.deferQ))))
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/hexgrid"
 	"repro/internal/message"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -43,6 +44,19 @@ type Options struct {
 	// DelayBuckets sizes the acquisition-delay histogram in units of
 	// Latency (default 64 buckets of T/2).
 	DelayBuckets int
+	// Obs, when non-nil, binds driver-level instruments into the
+	// registry: request outcomes, the outstanding-request gauge, the
+	// acquisition-delay histogram and the transport message counter.
+	// Protocol-core instruments are bound separately via
+	// registry.Config.Obs. Instruments are incremented inline on the
+	// single-threaded DES loop (the DES transport's Stats is not safe to
+	// read from a concurrent scrape, so no func collectors here); the
+	// obs counters themselves are atomic and safe to scrape.
+	Obs *obs.Registry
+	// Journal, when non-nil, receives request lifecycle records
+	// (request/result/release) in addition to whatever the protocol
+	// core emits through registry.Config.Obs.
+	Journal *obs.Journal
 }
 
 func (o *Options) applyDefaults() {
@@ -102,6 +116,40 @@ type Sim struct {
 	denies     uint64
 	cellGrants []uint64
 	cellDenies []uint64
+
+	obs simObs
+}
+
+// simObs is the driver's bound instrument set. The zero value is fully
+// disabled: every instrument is nil (allocation-free no-op) and journal
+// is nil. Journal emissions must stay behind `if journal != nil` so the
+// disabled path never builds variadic field slices.
+type simObs struct {
+	messages    *obs.Counter
+	granted     *obs.Counter
+	denied      *obs.Counter
+	outstanding *obs.Gauge
+	acquire     *obs.Histogram
+	journal     *obs.Journal
+}
+
+func (o *simObs) bind(r *obs.Registry, j *obs.Journal, latency sim.Time) {
+	o.journal = j
+	if r == nil {
+		return
+	}
+	o.messages = r.Counter("adca_transport_messages_total",
+		"Protocol messages handed to the transport.")
+	o.granted = r.Counter("adca_requests_granted_total",
+		"Channel requests completed with a grant.")
+	o.denied = r.Counter("adca_requests_denied_total",
+		"Channel requests completed with a denial.")
+	o.outstanding = r.Gauge("adca_requests_outstanding",
+		"Channel requests currently in flight.")
+	t := float64(latency)
+	o.acquire = r.Histogram("adca_acquire_ticks",
+		"Acquisition (protocol) delay of granted requests, in ticks.",
+		[]float64{t / 2, t, 2 * t, 4 * t, 8 * t, 16 * t, 32 * t, 64 * t})
 }
 
 type pendingReq struct {
@@ -133,6 +181,7 @@ func New(grid *hexgrid.Grid, assign *chanset.Assignment, factory alloc.Factory, 
 	if opts.TraceSize > 0 {
 		s.ring = trace.NewRing(opts.TraceSize)
 	}
+	s.obs.bind(opts.Obs, opts.Journal, opts.Latency)
 	if opts.Wire {
 		s.net.EnableWire()
 	}
@@ -174,6 +223,10 @@ func (s *Sim) Request(cell hexgrid.CellID, cb func(Result)) alloc.RequestID {
 	now := s.engine.Now()
 	s.pending[id] = &pendingReq{cell: cell, submitted: now, began: now, cb: cb}
 	s.dog.Submitted(now)
+	s.obs.outstanding.Add(1)
+	if s.obs.journal != nil {
+		s.obs.journal.Emit(int64(now), "request", int(cell), obs.FI("req", int64(id)))
+	}
 	s.traceEvent(trace.Event{At: now, Kind: trace.EvRequest, Cell: cell, Ch: chanset.NoChannel, Info: int64(id)})
 	s.allocs[cell].Request(id)
 	return id
@@ -195,6 +248,9 @@ func (s *Sim) Release(cell hexgrid.CellID, ch chanset.Channel) {
 			}
 			ch = target
 		}
+	}
+	if s.obs.journal != nil {
+		s.obs.journal.Emit(int64(s.engine.Now()), "release", int(cell), obs.FI("ch", int64(ch)))
 	}
 	s.traceEvent(trace.Event{At: s.engine.Now(), Kind: trace.EvRelease, Cell: cell, Ch: ch})
 	if err := s.allocs[cell].Release(ch); err != nil {
@@ -332,6 +388,7 @@ func (e *cellEnv) Send(m message.Message) {
 	if m.From != e.cell {
 		m.From = e.cell
 	}
+	e.sim.obs.messages.Inc()
 	e.sim.net.Send(m)
 }
 
@@ -371,6 +428,14 @@ func (e *cellEnv) Granted(id alloc.RequestID, ch chanset.Channel) {
 	s.totalDelay.Observe(float64(now - p.submitted))
 	s.queueDelay.Observe(float64(p.began - p.submitted))
 	s.delayHist.Observe(float64(now - p.began))
+	s.obs.granted.Inc()
+	s.obs.outstanding.Add(-1)
+	s.obs.acquire.Observe(float64(now - p.began))
+	if s.obs.journal != nil {
+		s.obs.journal.Emit(int64(now), "result", int(e.cell),
+			obs.FI("req", int64(id)), obs.FI("granted", 1),
+			obs.FI("ch", int64(ch)), obs.FI("ticks", int64(now-p.began)))
+	}
 	s.traceEvent(trace.Event{At: now, Kind: trace.EvGrant, Cell: e.cell, Ch: ch, Info: int64(id)})
 	if s.opts.Check {
 		if err := s.checker.CheckCell(e.cell); err != nil {
@@ -396,6 +461,13 @@ func (e *cellEnv) Denied(id alloc.RequestID) {
 	s.dog.Completed(now)
 	s.denies++
 	s.cellDenies[e.cell]++
+	s.obs.denied.Inc()
+	s.obs.outstanding.Add(-1)
+	if s.obs.journal != nil {
+		s.obs.journal.Emit(int64(now), "result", int(e.cell),
+			obs.FI("req", int64(id)), obs.FI("granted", 0),
+			obs.FI("ticks", int64(now-p.began)))
+	}
 	s.traceEvent(trace.Event{At: now, Kind: trace.EvDeny, Cell: e.cell, Ch: chanset.NoChannel, Info: int64(id)})
 	if p.cb != nil {
 		p.cb(Result{

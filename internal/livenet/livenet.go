@@ -22,6 +22,7 @@ import (
 	"repro/internal/chanset"
 	"repro/internal/hexgrid"
 	"repro/internal/message"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/transport"
 )
@@ -54,6 +55,16 @@ type Options struct {
 	// counted deadline denial (see Network.DeadlineDenials). A grant
 	// that arrives after its deadline is released back automatically.
 	RequestTimeout time.Duration
+
+	// Obs, when non-nil, registers runtime- and transport-level metrics
+	// as scrape-time collectors over the network's (thread-safe)
+	// counters. One registry should back one runtime: the DES driver
+	// registers some of the same families as plain counters, and mixing
+	// the two shapes in one registry panics by design.
+	Obs *obs.Registry
+	// Journal, when non-nil, receives request lifecycle records
+	// (request/result/deadline_deny), timestamped in ticks.
+	Journal *obs.Journal
 }
 
 // Result mirrors driver.Result for the live runtime.
@@ -149,6 +160,31 @@ func New(grid *hexgrid.Grid, assign *chanset.Assignment, factory alloc.Factory, 
 		n.net.Attach(cell, a) // through the stack: reliability wraps the handler
 		n.holding[i] = chanset.NewSet(assign.NumChannels)
 	}
+	if r := opts.Obs; r != nil {
+		r.CounterFunc("adca_requests_granted_total",
+			"Channel requests completed with a grant.",
+			func() float64 { return float64(n.Grants()) })
+		r.CounterFunc("adca_requests_denied_total",
+			"Channel requests completed with a denial (deadline denials included).",
+			func() float64 { return float64(n.Denies()) })
+		r.CounterFunc("adca_deadline_denials_total",
+			"Requests denied by the RequestTimeout watchdog rather than the protocol.",
+			func() float64 { return float64(n.DeadlineDenials()) })
+		r.CounterFunc("adca_late_grants_total",
+			"Grants that arrived after their deadline and were released back.",
+			func() float64 {
+				n.mu.Lock()
+				defer n.mu.Unlock()
+				return float64(n.lateGrants)
+			})
+		r.CounterFunc("adca_abandoned_messages_total",
+			"Messages whose retransmit budget was exhausted (dead link).",
+			func() float64 { return float64(n.Abandoned()) })
+		r.GaugeFunc("adca_requests_outstanding",
+			"Channel requests currently in flight.",
+			func() float64 { return float64(n.Outstanding()) })
+		transport.RegisterObs(r, n.net.Stats)
+	}
 	n.base.Start()
 	// Start must run on each station's goroutine so allocator state is
 	// never touched cross-thread.
@@ -175,6 +211,13 @@ func (n *Network) Stop() {
 		n.rel.Close()
 	}
 	n.base.Stop()
+	n.opts.Journal.Flush()
+}
+
+// nowTicks maps wall time since start onto virtual ticks (the journal's
+// time base, matching Env.Now).
+func (n *Network) nowTicks() int64 {
+	return int64(time.Since(n.start) / n.opts.TickDuration)
 }
 
 // Grid returns the cell layout.
@@ -194,6 +237,9 @@ func (n *Network) Request(cell hexgrid.CellID, cb func(Result)) {
 		p.timer = time.AfterFunc(n.opts.RequestTimeout, func() { n.expire(id) })
 	}
 	n.mu.Unlock()
+	if j := n.opts.Journal; j != nil {
+		j.Emit(n.nowTicks(), "request", int(cell), obs.FI("req", int64(id)))
+	}
 	n.base.Do(cell, func() { n.allocs[cell].Request(id) })
 }
 
@@ -214,6 +260,9 @@ func (n *Network) expire(id alloc.RequestID) {
 	n.denies++
 	n.deadlineDenials++
 	n.mu.Unlock()
+	if j := n.opts.Journal; j != nil {
+		j.Emit(n.nowTicks(), "deadline_deny", int(p.cell), obs.FI("req", int64(id)))
+	}
 	if p.cb != nil {
 		p.cb(Result{Cell: p.cell, Granted: false, Ch: chanset.NoChannel})
 	}
@@ -362,6 +411,14 @@ func (n *Network) complete(cell hexgrid.CellID, id alloc.RequestID, granted bool
 		n.denies++
 	}
 	n.mu.Unlock()
+	if j := n.opts.Journal; j != nil {
+		g := int64(0)
+		if granted {
+			g = 1
+		}
+		j.Emit(n.nowTicks(), "result", int(cell),
+			obs.FI("req", int64(id)), obs.FI("granted", g), obs.FI("ch", int64(ch)))
+	}
 	if p.cb != nil {
 		p.cb(Result{Cell: cell, Granted: granted, Ch: ch})
 	}

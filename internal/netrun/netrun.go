@@ -30,6 +30,7 @@ import (
 	"repro/internal/chanset"
 	"repro/internal/hexgrid"
 	"repro/internal/message"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/transport"
 )
@@ -57,6 +58,14 @@ type Config struct {
 	// RequestTimeout, when positive, completes overdue requests as
 	// counted denials (see Node.DeadlineDenials).
 	RequestTimeout time.Duration
+
+	// Obs, when non-nil, registers this node's runtime- and
+	// transport-level metrics as scrape-time collectors. Several nodes
+	// of one process may share a single registry: same-named collectors
+	// sum at collection time, yielding cluster-wide totals.
+	Obs *obs.Registry
+	// Journal, when non-nil, receives request lifecycle records.
+	Journal *obs.Journal
 }
 
 // Result mirrors livenet.Result.
@@ -92,6 +101,8 @@ type Node struct {
 	expired         map[alloc.RequestID]bool
 	nextID          alloc.RequestID
 	outst           int
+	grants          uint64
+	denies          uint64
 	deadlineDenials uint64
 	abandoned       uint64
 	badReleases     uint64
@@ -176,6 +187,24 @@ func NewNode(grid *hexgrid.Grid, assign *chanset.Assignment, factory alloc.Facto
 		})
 	}
 	wg.Wait()
+	if r := cfg.Obs; r != nil {
+		r.CounterFunc("adca_requests_granted_total",
+			"Channel requests completed with a grant.",
+			func() float64 { return float64(n.Grants()) })
+		r.CounterFunc("adca_requests_denied_total",
+			"Channel requests completed with a denial (deadline denials included).",
+			func() float64 { return float64(n.Denies()) })
+		r.CounterFunc("adca_deadline_denials_total",
+			"Requests denied by the RequestTimeout watchdog rather than the protocol.",
+			func() float64 { return float64(n.DeadlineDenials()) })
+		r.CounterFunc("adca_abandoned_messages_total",
+			"Messages whose retransmit budget was exhausted (dead link).",
+			func() float64 { return float64(n.Abandoned()) })
+		r.GaugeFunc("adca_requests_outstanding",
+			"Channel requests currently in flight.",
+			func() float64 { return float64(n.Outstanding()) })
+		transport.RegisterObs(r, n.stack.Stats)
+	}
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
@@ -394,6 +423,9 @@ func (n *Node) Request(cell hexgrid.CellID, cb func(Result)) {
 		p.timer = time.AfterFunc(n.cfg.RequestTimeout, func() { n.expire(id) })
 	}
 	n.mu.Unlock()
+	if j := n.cfg.Journal; j != nil {
+		j.Emit(n.nowTicks(), "request", int(cell), obs.FI("req", int64(id)))
+	}
 	n.local.Do(cell, func() { n.hosted[cell].Request(id) })
 }
 
@@ -409,11 +441,36 @@ func (n *Node) expire(id alloc.RequestID) {
 	delete(n.pending, id)
 	n.expired[id] = true
 	n.outst--
+	n.denies++
 	n.deadlineDenials++
 	n.mu.Unlock()
+	if j := n.cfg.Journal; j != nil {
+		j.Emit(n.nowTicks(), "deadline_deny", int(p.cell), obs.FI("req", int64(id)))
+	}
 	if p.cb != nil {
 		p.cb(Result{Cell: p.cell, Granted: false, Ch: chanset.NoChannel})
 	}
+}
+
+// Grants reports requests completed with a grant at this node.
+func (n *Node) Grants() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.grants
+}
+
+// Denies reports requests completed with a denial at this node
+// (deadline denials included).
+func (n *Node) Denies() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.denies
+}
+
+// nowTicks maps wall time since start onto virtual ticks (the journal's
+// time base, matching Env.Now).
+func (n *Node) nowTicks() int64 {
+	return int64(time.Since(n.start) / n.cfg.TickDuration)
 }
 
 // DeadlineDenials reports requests denied by the RequestTimeout
@@ -489,7 +546,20 @@ func (n *Node) complete(cell hexgrid.CellID, id alloc.RequestID, granted bool, c
 	}
 	delete(n.pending, id)
 	n.outst--
+	if granted {
+		n.grants++
+	} else {
+		n.denies++
+	}
 	n.mu.Unlock()
+	if j := n.cfg.Journal; j != nil {
+		g := int64(0)
+		if granted {
+			g = 1
+		}
+		j.Emit(n.nowTicks(), "result", int(cell),
+			obs.FI("req", int64(id)), obs.FI("granted", g), obs.FI("ch", int64(ch)))
+	}
 	if p.cb != nil {
 		p.cb(Result{Cell: cell, Granted: granted, Ch: ch})
 	}

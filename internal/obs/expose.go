@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (families sorted by name, series by label values —
+// deterministic output for a fixed state). Nil-safe (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sorted() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(strings.ReplaceAll(f.help, "\n", " "))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.promType())
+		bw.WriteByte('\n')
+		switch f.kind {
+		case kindCounterFunc, kindGaugeFunc:
+			writeSample(bw, f.name, "", f.sumFns())
+			continue
+		}
+		f.mu.Lock()
+		ser := append([]*series(nil), f.order...)
+		f.mu.Unlock()
+		for _, s := range ser {
+			labels := labelString(f.labels, s.values, "")
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, labels, float64(s.ctr.Value()))
+			case kindGauge:
+				writeSample(bw, f.name, labels, s.gauge.Value())
+			case kindHistogram:
+				var cum uint64
+				for i := range s.hist.bounds {
+					cum += s.hist.counts[i].Load()
+					writeSample(bw, f.name+"_bucket",
+						labelString(f.labels, s.values, formatLe(s.hist.bounds[i])), float64(cum))
+				}
+				writeSample(bw, f.name+"_bucket",
+					labelString(f.labels, s.values, "+Inf"), float64(s.hist.Count()))
+				writeSample(bw, f.name+"_sum", labels, s.hist.Sum())
+				writeSample(bw, f.name+"_count", labels, float64(s.hist.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels} value` line.
+func writeSample(w *bufio.Writer, name, labels string, v float64) {
+	w.WriteString(name)
+	w.WriteString(labels)
+	w.WriteByte(' ')
+	w.WriteString(formatValue(v))
+	w.WriteByte('\n')
+}
+
+// labelString renders `{k="v",...}` (empty string for no labels). le,
+// when non-empty, is appended as the histogram bucket bound label.
+func labelString(names, values []string, le string) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a sample value: integers without a fraction,
+// everything else in shortest form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatLe renders a histogram bucket bound.
+func formatLe(v float64) string { return formatValue(v) }
+
+// Handler returns an http.Handler serving the exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Server is a running metrics endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr exposing r at /metrics (and at
+// the root, for curl convenience). Use addr ":0" for an ephemeral port;
+// Addr reports the bound address. The caller must Close it.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/", r.Handler())
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down. Nil-safe.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+)
+
+// Field is one key/value pair of a journal event.
+type Field struct {
+	Key   string
+	num   float64
+	str   string
+	isStr bool
+}
+
+// F makes a numeric field.
+func F(key string, v float64) Field { return Field{Key: key, num: v} }
+
+// FI makes an integer field.
+func FI(key string, v int64) Field { return Field{Key: key, num: float64(v)} }
+
+// FS makes a string field.
+func FS(key, v string) Field { return Field{Key: key, str: v, isStr: true} }
+
+// Journal writes one JSON object per event (JSONL) for protocol
+// debugging. Every record carries the virtual time in ticks ("t"), an
+// event type ("type") and the cell it concerns ("cell", -1 for
+// network-level events), followed by the event's fields.
+//
+// A nil *Journal is the disabled journal: Emit is a no-op. Hot paths
+// must still guard `if j != nil` before building variadic fields, so
+// the disabled path stays allocation-free.
+type Journal struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	buf []byte
+	n   uint64
+	err error
+}
+
+// NewJournal wraps w (the caller keeps ownership of w; Close flushes
+// but does not close it).
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: bufio.NewWriter(w)}
+}
+
+// Emit appends one event record. Safe for concurrent use. No-op on nil.
+func (j *Journal) Emit(tick int64, typ string, cell int, fields ...Field) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	b := j.buf[:0]
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, tick, 10)
+	b = append(b, `,"type":`...)
+	b = strconv.AppendQuote(b, typ)
+	b = append(b, `,"cell":`...)
+	b = strconv.AppendInt(b, int64(cell), 10)
+	for _, f := range fields {
+		b = append(b, ',')
+		b = strconv.AppendQuote(b, f.Key)
+		b = append(b, ':')
+		if f.isStr {
+			b = strconv.AppendQuote(b, f.str)
+		} else {
+			b = appendNumber(b, f.num)
+		}
+	}
+	b = append(b, '}', '\n')
+	j.buf = b
+	j.n++
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+	}
+}
+
+// appendNumber renders v as a JSON number (integers without fraction;
+// NaN/Inf, invalid in JSON, as null).
+func appendNumber(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(b, `null`...)
+	}
+	if v == float64(int64(v)) {
+		return strconv.AppendInt(b, int64(v), 10)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// Events returns the number of records emitted (0 on nil).
+func (j *Journal) Events() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Flush pushes buffered records to the underlying writer and returns
+// the first write error, if any. Nil-safe.
+func (j *Journal) Flush() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// Close flushes the journal. The underlying writer is the caller's to
+// close. Nil-safe.
+func (j *Journal) Close() error { return j.Flush() }

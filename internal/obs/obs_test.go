@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	h := r.Histogram("h_ticks", "a histogram", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 5056.5 {
+		t.Fatalf("hist count=%d sum=%v", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot()
+	if snap[`h_ticks_bucket{le="1"}`] != 2 || snap[`h_ticks_bucket{le="10"}`] != 3 ||
+		snap[`h_ticks_bucket{le="100"}`] != 4 || snap[`h_ticks_bucket{le="+Inf"}`] != 5 {
+		t.Fatalf("hist buckets: %v", snap)
+	}
+}
+
+func TestVecCachingAndIdempotentRegistration(t *testing.T) {
+	r := New()
+	v := r.CounterVec("req_total", "requests", "path")
+	a, b := v.With("local"), v.With("local")
+	if a != b {
+		t.Fatal("With must cache per label values")
+	}
+	v.With("search").Add(2)
+	// Re-registration with the same shape shares the series (multi-node
+	// aggregation).
+	v2 := r.CounterVec("req_total", "requests", "path")
+	v2.With("search").Inc()
+	if got := v.With("search").Value(); got != 3 {
+		t.Fatalf("shared series = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting registration must panic")
+		}
+	}()
+	r.Gauge("req_total", "now a gauge")
+}
+
+func TestFuncCollectorsSum(t *testing.T) {
+	r := New()
+	r.CounterFunc("retrans_total", "retransmits", func() float64 { return 3 })
+	r.CounterFunc("retrans_total", "retransmits", func() float64 { return 4 })
+	if got := r.Snapshot()["retrans_total"]; got != 7 {
+		t.Fatalf("func sum = %v", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	cv := r.CounterVec("y", "", "l")
+	g := r.Gauge("z", "")
+	gv := r.GaugeVec("w", "", "l")
+	h := r.Histogram("v", "", []float64{1})
+	r.CounterFunc("f", "", func() float64 { return 1 })
+	r.GaugeFunc("f2", "", func() float64 { return 1 })
+	c.Inc()
+	cv.With("a").Add(2)
+	g.Set(1)
+	gv.With("a").Add(1)
+	h.Observe(1)
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var j *Journal
+	j.Emit(1, "x", 0)
+	if j.Events() != 0 || j.Flush() != nil || j.Close() != nil {
+		t.Fatal("nil journal must no-op")
+	}
+}
+
+func TestDisabledPathAllocationFree(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(-0.5)
+		h.Observe(2)
+		_ = c.Value()
+		_ = g.Value()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instruments allocated %v per run", allocs)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := New()
+	r.CounterVec("adca_grants_total", "grants by path", "path").With("local").Add(7)
+	r.Gauge("adca_outstanding", "in flight").Set(2)
+	r.Histogram("adca_acquire_ticks", "acq delay", []float64{10, 20}).Observe(15)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE adca_acquire_ticks histogram",
+		`adca_acquire_ticks_bucket{le="10"} 0`,
+		`adca_acquire_ticks_bucket{le="20"} 1`,
+		`adca_acquire_ticks_bucket{le="+Inf"} 1`,
+		"adca_acquire_ticks_sum 15",
+		"adca_acquire_ticks_count 1",
+		"# TYPE adca_grants_total counter",
+		`adca_grants_total{path="local"} 7`,
+		"# TYPE adca_outstanding gauge",
+		"adca_outstanding 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Families must come out sorted by name.
+	if strings.Index(out, "adca_acquire_ticks") > strings.Index(out, "adca_grants_total") {
+		t.Fatal("families not sorted")
+	}
+}
+
+func TestServeEndpoint(t *testing.T) {
+	r := New()
+	r.Counter("up_total", "liveness").Inc()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "up_total 1") {
+		t.Fatalf("body: %s", body)
+	}
+}
+
+func TestJournalJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Emit(10, "mode", 4, FI("old", 0), FI("new", 1), F("pred", 0.25))
+	j.Emit(11, "grant", 4, FS("path", "local"), FI("ch", 3))
+	j.Emit(12, "net", -1)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Events() != 3 {
+		t.Fatalf("events = %d", j.Events())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %q", lines)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if rec["t"] != float64(10) || rec["type"] != "mode" || rec["cell"] != float64(4) ||
+		rec["old"] != float64(0) || rec["new"] != float64(1) || rec["pred"] != 0.25 {
+		t.Fatalf("record: %v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["path"] != "local" || rec["ch"] != float64(3) {
+		t.Fatalf("record: %v", rec)
+	}
+}
+
+func TestJournalConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				j.Emit(int64(k), "e", i, FI("k", int64(k)))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i, ln := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("line %d corrupt: %v (%q)", i, err, ln)
+		}
+	}
+}
+
+func TestProtocolBundle(t *testing.T) {
+	if NewProtocol(nil, nil) != nil {
+		t.Fatal("fully disabled bundle must be nil")
+	}
+	r := New()
+	p := NewProtocol(r, nil)
+	p.GrantsLocal.Inc()
+	p.ModeToBorrowing.Inc()
+	p.DeferQueueDepth.Add(2)
+	snap := r.Snapshot()
+	if snap[`adca_grants_total{path="local"}`] != 1 {
+		t.Fatalf("snapshot: %v", snap)
+	}
+	if snap[`adca_mode_transitions_total{from="local",to="borrowing"}`] != 1 {
+		t.Fatalf("snapshot: %v", snap)
+	}
+	if snap["adca_defer_queue_depth"] != 2 {
+		t.Fatalf("snapshot: %v", snap)
+	}
+	// Journal-only bundle: instruments nil but usable.
+	var buf bytes.Buffer
+	jp := NewProtocol(nil, NewJournal(&buf))
+	jp.GrantsLocal.Inc()
+	if jp.Journal == nil {
+		t.Fatal("journal lost")
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	r := New()
+	r.CounterVec("adca_grants_total", "grants by path", "path").With("local").Add(3)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	fmt.Print(buf.String())
+	// Output:
+	// # HELP adca_grants_total grants by path
+	// # TYPE adca_grants_total counter
+	// adca_grants_total{path="local"} 3
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/chanset"
 	"repro/internal/core"
 	"repro/internal/hexgrid"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -31,6 +32,11 @@ type Config struct {
 	// MaxRounds caps retries of the update-based baselines; <= 0
 	// selects their defaults.
 	MaxRounds int
+	// Obs, when non-nil, instruments the protocol core with the bundle's
+	// counters and journal. Only the adaptive scheme is instrumented;
+	// the baselines ignore it. Nil (the default) keeps every hot path
+	// allocation-free.
+	Obs *obs.Protocol
 }
 
 // Names returns all registered scheme names, sorted.
@@ -51,7 +57,12 @@ func Build(name string, grid *hexgrid.Grid, assign *chanset.Assignment, cfg Conf
 		if p == (core.Params{}) {
 			p = core.DefaultParams(cfg.Latency)
 		}
-		return core.NewFactory(grid, assign, p)
+		fac, err := core.NewFactory(grid, assign, p)
+		if err != nil {
+			return nil, err
+		}
+		fac.Instrument(cfg.Obs)
+		return fac, nil
 	case "fixed":
 		return fixed.NewFactory(assign), nil
 	case "basic-search":
