@@ -256,11 +256,11 @@ func (n *Network) NumChannels() int { return n.sim.Assignment().NumChannels }
 
 // Primaries returns the primary channel ids of cell.
 func (n *Network) Primaries(cell int) []int {
-	var out []int
-	n.sim.Assignment().Primary[cell].ForEach(func(c chanset.Channel) bool {
+	pr := n.sim.Assignment().Primary[cell]
+	out := make([]int, 0, pr.Len())
+	for c := pr.First(); c.Valid(); c = pr.Next(c) {
 		out = append(out, int(c))
-		return true
-	})
+	}
 	return out
 }
 
@@ -281,11 +281,11 @@ func (n *Network) CenterCell() int { return int(n.sim.Grid().InteriorCell()) }
 
 // InUse returns the channels cell is currently using.
 func (n *Network) InUse(cell int) []int {
-	var out []int
-	n.sim.Allocator(hexgrid.CellID(cell)).InUse().ForEach(func(c chanset.Channel) bool {
+	use := n.sim.Allocator(hexgrid.CellID(cell)).InUse()
+	out := make([]int, 0, use.Len())
+	for c := use.First(); c.Valid(); c = use.Next(c) {
 		out = append(out, int(c))
-		return true
-	})
+	}
 	return out
 }
 

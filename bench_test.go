@@ -47,6 +47,7 @@ func emit(key, artifact string) {
 }
 
 func BenchmarkTable1General(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table1(benchEnv())
 		if err != nil {
@@ -63,6 +64,7 @@ func BenchmarkTable1General(b *testing.B) {
 }
 
 func BenchmarkTable2LowLoad(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table2(benchEnv())
 		if err != nil {
@@ -78,6 +80,7 @@ func BenchmarkTable2LowLoad(b *testing.B) {
 }
 
 func BenchmarkTable3Bounds(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table3(benchEnv(), nil)
 		if err != nil {
@@ -112,6 +115,7 @@ func loadSweep(b *testing.B) experiments.SweepResult {
 }
 
 func BenchmarkFigDropVsLoad(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := loadSweep(b)
 		emit("f1", res.RenderBlocking()+"\n"+res.RenderTable())
@@ -121,6 +125,7 @@ func BenchmarkFigDropVsLoad(b *testing.B) {
 }
 
 func BenchmarkFigDelayVsLoad(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := loadSweep(b)
 		emit("f2", res.RenderDelay())
@@ -130,6 +135,7 @@ func BenchmarkFigDelayVsLoad(b *testing.B) {
 }
 
 func BenchmarkFigMessagesVsLoad(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := loadSweep(b)
 		emit("f3", res.RenderMessages())
@@ -138,6 +144,7 @@ func BenchmarkFigMessagesVsLoad(b *testing.B) {
 }
 
 func BenchmarkFigModeOccupancy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := loadSweep(b)
 		emit("f7", res.RenderModeOccupancy())
@@ -147,6 +154,7 @@ func BenchmarkFigModeOccupancy(b *testing.B) {
 }
 
 func BenchmarkFigHotspot(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Hotspot(benchEnv(), nil, nil)
 		if err != nil {
@@ -159,6 +167,7 @@ func BenchmarkFigHotspot(b *testing.B) {
 }
 
 func BenchmarkFigAblationAlpha(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.AblationAlpha(benchEnv(), nil)
 		if err != nil {
@@ -169,6 +178,7 @@ func BenchmarkFigAblationAlpha(b *testing.B) {
 }
 
 func BenchmarkFigAblationTheta(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.AblationTheta(benchEnv(), nil)
 		if err != nil {
@@ -179,6 +189,7 @@ func BenchmarkFigAblationTheta(b *testing.B) {
 }
 
 func BenchmarkFigAblationWindow(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.AblationWindow(benchEnv(), nil)
 		if err != nil {
@@ -189,6 +200,7 @@ func BenchmarkFigAblationWindow(b *testing.B) {
 }
 
 func BenchmarkFigScalability(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := benchEnv()
 		e.Duration = 50_000
@@ -204,6 +216,7 @@ func BenchmarkFigScalability(b *testing.B) {
 }
 
 func BenchmarkFigAblationLender(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.AblationLender(benchEnv())
 		if err != nil {
@@ -215,6 +228,7 @@ func BenchmarkFigAblationLender(b *testing.B) {
 }
 
 func BenchmarkFigMobility(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Mobility(benchEnv(), nil, nil)
 		if err != nil {
@@ -227,6 +241,7 @@ func BenchmarkFigMobility(b *testing.B) {
 }
 
 func BenchmarkFigTransientHotspot(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Transient(benchEnv(), nil)
 		if err != nil {
@@ -238,6 +253,7 @@ func BenchmarkFigTransientHotspot(b *testing.B) {
 }
 
 func BenchmarkFigLatencySensitivity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Latency(benchEnv(), nil, nil)
 		if err != nil {
@@ -250,6 +266,7 @@ func BenchmarkFigLatencySensitivity(b *testing.B) {
 }
 
 func BenchmarkFigRepacking(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Repacking(benchEnv(), nil)
 		if err != nil {
@@ -262,6 +279,7 @@ func BenchmarkFigRepacking(b *testing.B) {
 }
 
 func BenchmarkFigFairness(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fairness(benchEnv(), nil, nil)
 		if err != nil {
@@ -274,6 +292,7 @@ func BenchmarkFigFairness(b *testing.B) {
 }
 
 func BenchmarkTableA1Breakdown(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Breakdown(benchEnv(), nil)
 		if err != nil {

@@ -1,0 +1,76 @@
+// Command benchdelta compares two bench reports produced by
+// `chansim -bench` (see DESIGN.md §9) and exits non-zero on
+// regressions.
+//
+// Allocation counts are deterministic, so allocs/event regressions
+// beyond the threshold always fail. Timing (ns/event, events/sec) is
+// noisy on shared CI runners, so timing regressions only warn unless
+// -strict is set.
+//
+//	benchdelta -baseline BENCH_baseline.json -current BENCH_ci.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline report")
+		currentPath  = flag.String("current", "BENCH_ci.json", "freshly measured report")
+		threshold    = flag.Float64("threshold", 0.20, "relative regression tolerated (0.20 = 20%)")
+		strict       = flag.Bool("strict", false, "fail on timing regressions too, not just allocations")
+	)
+	flag.Parse()
+	base := load(*baselinePath)
+	cur := load(*currentPath)
+
+	failed := false
+	check := func(name string, baseVal, curVal float64, hard bool) {
+		if baseVal <= 0 {
+			fmt.Printf("  %-22s baseline %.4g — skipped (no baseline)\n", name, baseVal)
+			return
+		}
+		delta := curVal/baseVal - 1
+		status := "ok"
+		if delta > *threshold {
+			if hard || *strict {
+				status = "FAIL"
+				failed = true
+			} else {
+				status = "warn"
+			}
+		}
+		fmt.Printf("  %-22s %10.4g -> %10.4g  (%+.1f%%)  %s\n", name, baseVal, curVal, 100*delta, status)
+	}
+
+	fmt.Printf("benchdelta: %s vs %s (threshold %.0f%%)\n", *baselinePath, *currentPath, 100**threshold)
+	check("ns/event", base.Kernel.NsPerEvent, cur.Kernel.NsPerEvent, false)
+	check("allocs/event", base.Kernel.AllocsPerEvent, cur.Kernel.AllocsPerEvent, true)
+	check("bytes/event", base.Kernel.BytesPerEvent, cur.Kernel.BytesPerEvent, true)
+	check("sweep seq seconds", base.Sweep.SeqSeconds, cur.Sweep.SeqSeconds, false)
+	if failed {
+		fmt.Println("benchdelta: REGRESSION detected")
+		os.Exit(1)
+	}
+	fmt.Println("benchdelta: within tolerance")
+}
+
+func load(path string) experiments.BenchReport {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var r experiments.BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return r
+}

@@ -12,6 +12,12 @@
 //	chansim -scheme fixed -hot-erlang 25
 //	chansim -scheme basic-update -erlang 9 -seed 7
 //	chansim -erlang 9 -metrics :9090 -linger 1m -journal run.jsonl
+//
+// Performance: -bench runs the measurement harness instead of a
+// scenario and emits a BENCH_*.json document (per-event kernel cost and
+// sweep wall-clock; see DESIGN.md §9). -bench-quick shrinks the
+// workload for CI smoke; -bench-out writes the JSON to a file;
+// -workers bounds the sweep pool.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/experiments"
 	"repro/internal/scenario"
 )
 
@@ -47,8 +54,17 @@ func main() {
 		metricsAddr = flag.String("metrics", "", "serve Prometheus text metrics at this address (e.g. :9090)")
 		journalPath = flag.String("journal", "", "write a JSONL event journal to this file")
 		linger      = flag.Duration("linger", 0, "keep the metrics endpoint up this long after the report")
+
+		bench      = flag.Bool("bench", false, "run the performance harness instead of a scenario; emit JSON")
+		benchQuick = flag.Bool("bench-quick", false, "with -bench: shorter runs (CI smoke)")
+		benchOut   = flag.String("bench-out", "", "with -bench: write the JSON here instead of stdout")
+		workers    = flag.Int("workers", 0, "with -bench: sweep pool width (0 = ADCA_WORKERS env var, else NumCPU)")
 	)
 	flag.Parse()
+	if *bench {
+		runBench(*workers, *benchQuick, *benchOut)
+		return
+	}
 	if *height == 0 {
 		*height = *width
 	}
@@ -175,4 +191,27 @@ func main() {
 		fmt.Printf("metrics           lingering at http://%s/metrics for %v\n", addr, *linger)
 		time.Sleep(*linger)
 	}
+}
+
+// runBench drives the measurement harness and writes the JSON report.
+func runBench(workers int, quick bool, out string) {
+	rep, err := experiments.RunBench(workers, quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data, err := experiments.MarshalReport(rep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench report written to %s\n", out)
 }

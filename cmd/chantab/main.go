@@ -17,8 +17,9 @@ func main() {
 		quick = flag.Bool("quick", false, "small runs (smoke test); full runs otherwise")
 		out   = flag.String("out", "", "write the report to this file instead of stdout")
 		only  = flag.String("only", "", "run a single artifact: table1,table2,table3,f1,f4,f5,f5d,f6,f8,f9,f10,f11,f12,a1")
-		csv   = flag.String("csv", "", "also write the load-sweep data as CSV to this file")
-		svg   = flag.String("svgdir", "", "also write figure SVGs into this directory")
+		csv     = flag.String("csv", "", "also write the load-sweep data as CSV to this file")
+		svg     = flag.String("svgdir", "", "also write figure SVGs into this directory")
+		workers = flag.Int("workers", 0, "sweep worker-pool width (0 = ADCA_WORKERS env var, else NumCPU)")
 	)
 	flag.Parse()
 	writeSVG := func(name, content string) {
@@ -32,6 +33,7 @@ func main() {
 	}
 
 	env := experiments.DefaultEnv()
+	env.Workers = *workers
 	if *quick {
 		env.Duration = 40_000
 		env.Warmup = 8_000

@@ -169,12 +169,10 @@ func (p *PSearch) tryTransfer() {
 	ownerOf := make(map[chanset.Channel]hexgrid.CellID)
 	count := make(map[chanset.Channel]int)
 	for j, s := range p.allocBy {
-		j := j
-		s.ForEach(func(ch chanset.Channel) bool {
+		for ch := s.First(); ch.Valid(); ch = s.Next(ch) {
 			ownerOf[ch] = j
 			count[ch]++
-			return true
-		})
+		}
 	}
 	best := chanset.NoChannel
 	for ch := chanset.Channel(0); int(ch) < p.nchan; ch++ {

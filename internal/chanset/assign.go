@@ -222,10 +222,10 @@ func (a *Assignment) Verify(g *hexgrid.Grid) error {
 func (a *Assignment) PrimaryOwnersWithin(g *hexgrid.Grid, i hexgrid.CellID) map[Channel][]hexgrid.CellID {
 	out := make(map[Channel][]hexgrid.CellID)
 	consider := func(j hexgrid.CellID) {
-		a.Primary[j].ForEach(func(c Channel) bool {
+		pr := a.Primary[j]
+		for c := pr.First(); c.Valid(); c = pr.Next(c) {
 			out[c] = append(out[c], j)
-			return true
-		})
+		}
 	}
 	consider(i)
 	for _, j := range g.Interference(i) {

@@ -250,6 +250,9 @@ func (s Set) Nth(n int) Channel {
 
 // ForEach calls fn for every channel in ascending order. If fn returns
 // false the iteration stops.
+//
+// ForEach closes over fn, which usually costs one allocation at the call
+// site; hot loops should prefer the allocation-free Next cursor.
 func (s Set) ForEach(fn func(Channel) bool) {
 	for i, w := range s.words {
 		for w != 0 {
@@ -262,14 +265,57 @@ func (s Set) ForEach(fn func(Channel) bool) {
 	}
 }
 
+// Next returns the smallest channel strictly greater than after, or
+// NoChannel when none remains. Next(NoChannel) is First(), so the
+// allocation-free iteration idiom is:
+//
+//	for c := s.First(); c.Valid(); c = s.Next(c) { ... }
+//
+// Mutation during iteration: removing the current channel (or any
+// channel at or below it) is safe — the cursor only scans bits above
+// `after`. Members added or removed above the cursor may or may not be
+// visited, exactly as with ForEach over a snapshot word.
+func (s Set) Next(after Channel) Channel {
+	i, off := 0, uint(0)
+	if after >= 0 {
+		from := int(after) + 1
+		i = from / 64
+		off = uint(from) % 64
+	}
+	if i >= len(s.words) {
+		return NoChannel
+	}
+	// Mask off bits <= after in the first word, then scan forward.
+	w := s.words[i] &^ (1<<off - 1)
+	for {
+		if w != 0 {
+			return Channel(i*64 + bits.TrailingZeros64(w))
+		}
+		i++
+		if i >= len(s.words) {
+			return NoChannel
+		}
+		w = s.words[i]
+	}
+}
+
+// AppendTo appends the members in ascending order to dst and returns the
+// extended slice. Passing a scratch slice with spare capacity makes the
+// call allocation-free; AppendTo(nil) behaves like Channels.
+func (s Set) AppendTo(dst []Channel) []Channel {
+	for i, w := range s.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			dst = append(dst, Channel(i*64+tz))
+			w &^= 1 << uint(tz)
+		}
+	}
+	return dst
+}
+
 // Channels returns the members in ascending order as a fresh slice.
 func (s Set) Channels() []Channel {
-	out := make([]Channel, 0, s.Len())
-	s.ForEach(func(c Channel) bool {
-		out = append(out, c)
-		return true
-	})
-	return out
+	return s.AppendTo(make([]Channel, 0, s.Len()))
 }
 
 // String renders the set as "{0,3,17}".

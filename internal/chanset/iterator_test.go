@@ -1,0 +1,158 @@
+package chanset
+
+import (
+	"testing"
+)
+
+func TestNextEmptySet(t *testing.T) {
+	s := NewSet(128)
+	if c := s.Next(NoChannel); c != NoChannel {
+		t.Fatalf("Next(NoChannel) on empty set = %v", c)
+	}
+	if c := s.Next(0); c != NoChannel {
+		t.Fatalf("Next(0) on empty set = %v", c)
+	}
+	var zero Set
+	if c := zero.Next(NoChannel); c != NoChannel {
+		t.Fatalf("Next on zero-value set = %v", c)
+	}
+}
+
+func TestNextMatchesForEach(t *testing.T) {
+	cases := [][]Channel{
+		{0},
+		{63},
+		{64},
+		{127},
+		{0, 63, 64, 65, 127},
+		{1, 2, 3, 62, 63, 64, 100, 126, 127},
+	}
+	for _, want := range cases {
+		s := NewSet(128)
+		for _, c := range want {
+			s.Add(c)
+		}
+		var viaForEach []Channel
+		s.ForEach(func(c Channel) bool { viaForEach = append(viaForEach, c); return true })
+		var viaNext []Channel
+		for c := s.First(); c.Valid(); c = s.Next(c) {
+			viaNext = append(viaNext, c)
+		}
+		if len(viaNext) != len(viaForEach) {
+			t.Fatalf("set %v: ForEach saw %v, Next saw %v", want, viaForEach, viaNext)
+		}
+		for i := range viaNext {
+			if viaNext[i] != viaForEach[i] {
+				t.Fatalf("set %v: ForEach saw %v, Next saw %v", want, viaForEach, viaNext)
+			}
+		}
+	}
+}
+
+// TestNextTrailingPartialWord exercises a capacity that is not a
+// multiple of 64, with members in the final partial word.
+func TestNextTrailingPartialWord(t *testing.T) {
+	s := NewSet(70)
+	s.Add(68)
+	s.Add(69)
+	if c := s.First(); c != 68 {
+		t.Fatalf("First = %v", c)
+	}
+	if c := s.Next(68); c != 69 {
+		t.Fatalf("Next(68) = %v", c)
+	}
+	if c := s.Next(69); c != NoChannel {
+		t.Fatalf("Next(69) = %v", c)
+	}
+}
+
+// TestNextRemoveDuringIteration pins the documented contract: removing
+// the current channel (or any channel at or below it) mid-iteration is
+// safe because the cursor is the channel value itself, not a position.
+func TestNextRemoveDuringIteration(t *testing.T) {
+	s := SetOf(3, 40, 64, 99, 127)
+	var visited []Channel
+	for c := s.First(); c.Valid(); c = s.Next(c) {
+		visited = append(visited, c)
+		s.Remove(c) // current element
+		if len(visited) > 1 {
+			s.Remove(visited[0]) // already-visited element: no effect on the walk
+		}
+	}
+	want := []Channel{3, 40, 64, 99, 127}
+	if len(visited) != len(want) {
+		t.Fatalf("visited %v, want %v", visited, want)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visited %v, want %v", visited, want)
+		}
+	}
+	if !s.Empty() {
+		t.Fatalf("set should be empty after removing every element, got %v", s)
+	}
+}
+
+func TestAppendTo(t *testing.T) {
+	s := SetOf(0, 63, 64, 127)
+	got := s.AppendTo(nil)
+	want := []Channel{0, 63, 64, 127}
+	if len(got) != len(want) {
+		t.Fatalf("AppendTo = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendTo = %v, want %v", got, want)
+		}
+	}
+	// Appends after existing elements without clobbering them.
+	pre := []Channel{NoChannel}
+	got = s.AppendTo(pre)
+	if got[0] != NoChannel || len(got) != 5 {
+		t.Fatalf("AppendTo with prefix = %v", got)
+	}
+	if chs := s.Channels(); len(chs) != 4 || chs[0] != 0 || chs[3] != 127 {
+		t.Fatalf("Channels = %v", chs)
+	}
+}
+
+// BenchmarkSetIterateNext vs BenchmarkSetIterate (ForEach, bench_test.go):
+// the cursor walk needs no closure, so the per-call allocation delta is
+// visible under -benchmem.
+func BenchmarkSetIterateNext(bm *testing.B) {
+	a, _ := benchSets()
+	bm.ReportAllocs()
+	count := 0
+	for i := 0; i < bm.N; i++ {
+		for c := a.First(); c.Valid(); c = a.Next(c) {
+			count++
+		}
+	}
+	_ = count
+}
+
+// BenchmarkSetCollectForEach measures the shape the hot paths used
+// before the Next/AppendTo conversion: a capturing closure appending to
+// a fresh slice. Compare with BenchmarkSetAppendTo (reused buffer,
+// zero allocs).
+func BenchmarkSetCollectForEach(bm *testing.B) {
+	a, _ := benchSets()
+	bm.ReportAllocs()
+	for i := 0; i < bm.N; i++ {
+		var out []Channel
+		a.ForEach(func(c Channel) bool { out = append(out, c); return true })
+		if len(out) == 0 {
+			bm.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkSetAppendTo(bm *testing.B) {
+	a, _ := benchSets()
+	buf := make([]Channel, 0, a.Len())
+	bm.ReportAllocs()
+	for i := 0; i < bm.N; i++ {
+		buf = a.AppendTo(buf[:0])
+	}
+	_ = buf
+}

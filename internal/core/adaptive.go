@@ -206,6 +206,14 @@ type Adaptive struct {
 
 	serial alloc.Serial
 	req    *request // active request FSM, nil when idle
+	// reqBuf backs req: one request is in flight at a time, so the FSM
+	// state is reused across requests instead of allocated per request.
+	reqBuf request
+	// awaitBuf backs request.awaiting across phases for the same reason.
+	awaitBuf map[hexgrid.CellID]bool
+	// scratch holds the result of freePrimary/freeAnywhere; reusing one
+	// buffer keeps those per-dispatch set computations allocation-free.
+	scratch chanset.Set
 
 	counters alloc.Counters
 	obs      obs.Protocol // zero value: disabled (nil instruments no-op)
@@ -226,6 +234,7 @@ func (a *Adaptive) Start(env alloc.Env) {
 	}
 	a.iCnt = make([]int16, n)
 	a.inter = chanset.NewSet(n)
+	a.scratch = chanset.NewSet(n)
 	a.granted = make(map[hexgrid.CellID]chanset.Set)
 	a.updateS = make(map[hexgrid.CellID]bool)
 	a.nfc.init(env.Now(), a.pr.Len(), a.factory.params.Window)
@@ -251,20 +260,25 @@ func (a *Adaptive) Primary() chanset.Set { return a.pr.Clone() }
 func (a *Adaptive) Waiting() int { return a.waiting }
 
 // free returns PR_i − (Use_i ∪ I_i): the free primary channels in this
-// cell's view.
+// cell's view. The result aliases a.scratch and is valid only until the
+// next freePrimary/freeAnywhere call (every call site consumes it
+// immediately; checkMode refills it, so don't hold it across one).
 func (a *Adaptive) freePrimary() chanset.Set {
-	f := a.pr.Clone()
-	f.SubtractWith(a.use)
-	f.SubtractWith(a.inter)
-	return f
+	return a.freeFrom(a.pr)
 }
 
-// freeAnywhere returns Spectrum − Use_i − I_i.
+// freeAnywhere returns Spectrum − Use_i − I_i, aliasing a.scratch like
+// freePrimary.
 func (a *Adaptive) freeAnywhere() chanset.Set {
-	f := a.spectrum.Clone()
-	f.SubtractWith(a.use)
-	f.SubtractWith(a.inter)
-	return f
+	return a.freeFrom(a.spectrum)
+}
+
+func (a *Adaptive) freeFrom(base chanset.Set) chanset.Set {
+	a.scratch.Clear()
+	a.scratch.UnionWith(base)
+	a.scratch.SubtractWith(a.use)
+	a.scratch.SubtractWith(a.inter)
+	return a.scratch
 }
 
 // addU records that neighbor j uses channel ch.
@@ -324,25 +338,26 @@ func (a *Adaptive) replaceU(j hexgrid.CellID, snapshot chanset.Set) {
 	}
 	if g, ok := a.granted[j]; ok && !g.Empty() {
 		// Channels now visible in j's snapshot are owned by j; the
-		// snapshot stream governs them from here on.
-		resolved := chanset.Intersect(g, snapshot)
-		resolved.ForEach(func(ch chanset.Channel) bool {
-			a.grantResolve(j, ch)
-			return true
-		})
+		// snapshot stream governs them from here on. grantResolve removes
+		// the current channel from g, which the Next cursor permits.
+		for ch := g.First(); ch.Valid(); ch = g.Next(ch) {
+			if snapshot.Contains(ch) {
+				a.grantResolve(j, ch)
+			}
+		}
 		// Still-pending grants are unioned into the effective snapshot.
 		snapshot = chanset.Union(snapshot, a.granted[j])
 	}
-	old.ForEach(func(ch chanset.Channel) bool {
+	// removeU deletes the current channel from old (= a.u[j]) while the
+	// cursor walks it — safe: Next only scans bits above the cursor.
+	for ch := old.First(); ch.Valid(); ch = old.Next(ch) {
 		if !snapshot.Contains(ch) {
 			a.removeU(j, ch)
 		}
-		return true
-	})
-	snapshot.ForEach(func(ch chanset.Channel) bool {
+	}
+	for ch := snapshot.First(); ch.Valid(); ch = snapshot.Next(ch) {
 		a.addU(j, ch)
-		return true
-	})
+	}
 }
 
 // checkMode is the paper's check_mode() (Figure 6): it appends the

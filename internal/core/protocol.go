@@ -53,10 +53,18 @@ const (
 	pathSearch
 )
 
-// startRequest is the Serial's start hook: a fresh request begins.
+// startRequest is the Serial's start hook: a fresh request begins. The
+// FSM state lives in a.reqBuf — one request is in flight per station at
+// a time, so the struct (and its granted slice and awaiting map) is
+// recycled instead of allocated per request.
 func (a *Adaptive) startRequest(id alloc.RequestID) {
 	a.env.Began(id)
-	a.req = &request{id: id, ts: a.clock.Tick()}
+	r := &a.reqBuf
+	*r = request{
+		id: id, ts: a.clock.Tick(), ch: chanset.NoChannel,
+		granted: r.granted[:0], awaiting: r.awaiting,
+	}
+	a.req = r
 	a.dispatch()
 }
 
@@ -638,12 +646,21 @@ func (a *Adaptive) best() hexgrid.CellID {
 // pickBorrow selects the channel to borrow from lender j: the lowest
 // free channel primary to j (DESIGN.md D1).
 func (a *Adaptive) pickBorrow(j hexgrid.CellID) chanset.Channel {
-	c := chanset.Intersect(a.factory.assign.Primary[j], a.freeAnywhere())
-	return c.First()
+	free := a.freeAnywhere() // aliases a.scratch; consumed here
+	free.IntersectWith(a.factory.assign.Primary[j])
+	return free.First()
 }
 
+// awaitAll returns the awaiting map refilled with every interference
+// neighbor. The map is owned by a.awaitBuf and shared across phases:
+// only one request phase is collecting responses at any moment.
 func (a *Adaptive) awaitAll() map[hexgrid.CellID]bool {
-	m := make(map[hexgrid.CellID]bool, len(a.neighbors))
+	m := a.awaitBuf
+	if m == nil {
+		m = make(map[hexgrid.CellID]bool, len(a.neighbors))
+		a.awaitBuf = m
+	}
+	clear(m)
 	for _, j := range a.neighbors {
 		m[j] = true
 	}

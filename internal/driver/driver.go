@@ -99,6 +99,10 @@ type Sim struct {
 
 	nextID  alloc.RequestID
 	pending map[alloc.RequestID]*pendingReq
+	// reqFree recycles pendingReq nodes: request bookkeeping is the
+	// driver's hottest allocation, and completed nodes are reusable the
+	// moment their completion callback returns.
+	reqFree []*pendingReq
 	// moved[cell][old] queues repacking moves (Env.Moved) so a caller
 	// releasing the channel it was granted reaches a channel its cell
 	// actually holds. A queue (not a single alias): the same channel id
@@ -215,13 +219,31 @@ func (s *Sim) Latency() sim.Time { return s.opts.Latency }
 // Allocator returns the allocator of the given cell (for inspection).
 func (s *Sim) Allocator(cell hexgrid.CellID) alloc.Allocator { return s.allocs[cell] }
 
+// newPending takes a node off the free list (or allocates one).
+func (s *Sim) newPending(cell hexgrid.CellID, now sim.Time, cb func(Result)) *pendingReq {
+	if n := len(s.reqFree); n > 0 {
+		p := s.reqFree[n-1]
+		s.reqFree = s.reqFree[:n-1]
+		*p = pendingReq{cell: cell, submitted: now, began: now, cb: cb}
+		return p
+	}
+	return &pendingReq{cell: cell, submitted: now, began: now, cb: cb}
+}
+
+// recycle returns a completed node to the free list. Callers must be
+// done reading it (in particular, the completion callback has returned).
+func (s *Sim) recycle(p *pendingReq) {
+	p.cb = nil // drop the closure reference
+	s.reqFree = append(s.reqFree, p)
+}
+
 // Request submits a channel request at cell; cb (optional) runs on
 // completion. It returns the request id.
 func (s *Sim) Request(cell hexgrid.CellID, cb func(Result)) alloc.RequestID {
 	s.nextID++
 	id := s.nextID
 	now := s.engine.Now()
-	s.pending[id] = &pendingReq{cell: cell, submitted: now, began: now, cb: cb}
+	s.pending[id] = s.newPending(cell, now, cb)
 	s.dog.Submitted(now)
 	s.obs.outstanding.Add(1)
 	if s.obs.journal != nil {
@@ -448,6 +470,7 @@ func (e *cellEnv) Granted(id alloc.RequestID, ch chanset.Channel) {
 			Submitted: p.submitted, Began: p.began, Done: now,
 		})
 	}
+	s.recycle(p)
 }
 
 func (e *cellEnv) Denied(id alloc.RequestID) {
@@ -475,4 +498,5 @@ func (e *cellEnv) Denied(id alloc.RequestID) {
 			Submitted: p.submitted, Began: p.began, Done: now,
 		})
 	}
+	s.recycle(p)
 }

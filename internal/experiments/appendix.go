@@ -52,20 +52,32 @@ func Breakdown(env Env, schemes []string) (BreakdownResult, error) {
 		Title:   "A1 — control traffic by message kind (0.6 Erlang/primary, wire-encoded)",
 		Schemes: schemes,
 	}
-	g, err := hexgrid.New(env.Grid)
-	if err != nil {
-		return BreakdownResult{}, err
+	// One job per scheme on the shared pool; each builds its own grid
+	// and assignment so nothing is shared between concurrent runs.
+	type outcome struct {
+		row   []float64
+		bytes float64
+		err   error
 	}
-	assign, err := chanset.Assign(g, env.Channels)
-	if err != nil {
-		return BreakdownResult{}, err
-	}
-	for _, scheme := range schemes {
+	outs := make([]outcome, len(schemes))
+	forEachJob(len(schemes), env.workers(), func(i int) {
+		scheme := schemes[i]
+		g, err := hexgrid.New(env.Grid)
+		if err != nil {
+			outs[i].err = err
+			return
+		}
+		assign, err := chanset.Assign(g, env.Channels)
+		if err != nil {
+			outs[i].err = err
+			return
+		}
 		factory, err := registry.Build(scheme, g, assign, registry.Config{
 			Latency: env.Latency, Adaptive: env.Adaptive, MaxRounds: env.MaxRounds,
 		})
 		if err != nil {
-			return BreakdownResult{}, err
+			outs[i].err = err
+			return
 		}
 		s := driver.New(g, assign, factory, driver.Options{
 			Latency: env.Latency, Seed: env.Seeds[0], Wire: true,
@@ -77,7 +89,8 @@ func Breakdown(env Env, schemes []string) (BreakdownResult, error) {
 			Warmup:   env.Warmup,
 			Seed:     env.Seeds[0],
 		}); err != nil {
-			return BreakdownResult{}, err
+			outs[i].err = err
+			return
 		}
 		st := s.Stats()
 		completed := float64(st.Grants + st.Denies)
@@ -88,8 +101,14 @@ func Breakdown(env Env, schemes []string) (BreakdownResult, error) {
 		for k := range row {
 			row[k] = float64(st.Messages.ByKind[k]) / completed
 		}
-		res.PerKind = append(res.PerKind, row)
-		res.BytesPerCall = append(res.BytesPerCall, float64(st.Messages.Bytes)/completed)
+		outs[i] = outcome{row: row, bytes: float64(st.Messages.Bytes) / completed}
+	})
+	for i := range schemes {
+		if outs[i].err != nil {
+			return BreakdownResult{}, outs[i].err
+		}
+		res.PerKind = append(res.PerKind, outs[i].row)
+		res.BytesPerCall = append(res.BytesPerCall, outs[i].bytes)
 	}
 	return res, nil
 }

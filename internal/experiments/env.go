@@ -8,9 +8,6 @@
 package experiments
 
 import (
-	"fmt"
-	"sync"
-
 	"repro/internal/chanset"
 	"repro/internal/core"
 	"repro/internal/driver"
@@ -34,6 +31,11 @@ type Env struct {
 	Duration, Warmup sim.Time
 	// Seeds are the replication seeds; results average across them.
 	Seeds []uint64
+	// Workers bounds the sweep worker pool (the number of leaf
+	// simulations in flight at once). 0 means DefaultWorkers():
+	// ADCA_WORKERS if set, else runtime.NumCPU(). Results are
+	// identical at every width; only wall-clock changes.
+	Workers int
 	// MaxRounds caps the update baselines' retries.
 	MaxRounds int
 	// Adaptive overrides the adaptive scheme's parameters (zero value:
@@ -103,68 +105,16 @@ type Measured struct {
 }
 
 // RunScheme drives the workload through the named scheme once per seed
-// and averages the outcomes. Replications are independent simulations,
-// so they run on separate goroutines (one per seed); aggregation order
-// is fixed by seed order, keeping results deterministic.
+// and averages the outcomes. Replications are independent simulations
+// scheduled on the shared bounded worker pool (see pool.go); aggregation
+// order is fixed by seed order, keeping results deterministic at any
+// pool width.
 func RunScheme(env Env, scheme string, profile traffic.Profile, handoffRate float64) (Measured, error) {
-	type outcome struct {
-		m   Measured
-		err error
+	ms, err := runSpecs(env.workers(), []spec{{env: env, scheme: scheme, profile: profile, handoff: handoffRate}})
+	if err != nil {
+		return Measured{}, err
 	}
-	outs := make([]outcome, len(env.Seeds))
-	var wg sync.WaitGroup
-	for i, seed := range env.Seeds {
-		i, seed := i, seed
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			m, _, err := runOnceFull(env, scheme, profile, handoffRate, seed)
-			outs[i] = outcome{m: m, err: err}
-		}()
-	}
-	wg.Wait()
-	var agg Measured
-	agg.Scheme = scheme
-	var fair float64
-	for i, seed := range env.Seeds {
-		if err := outs[i].err; err != nil {
-			return Measured{}, fmt.Errorf("%s (seed %d): %w", scheme, seed, err)
-		}
-		m := outs[i].m
-		agg.Blocking += m.Blocking
-		agg.HandoffDrop += m.HandoffDrop
-		agg.MsgsPerCall += m.MsgsPerCall
-		agg.AcqTime += m.AcqTime
-		agg.AcqP95 += m.AcqP95
-		if m.AcqMax > agg.AcqMax {
-			agg.AcqMax = m.AcqMax
-		}
-		agg.Xi1 += m.Xi1
-		agg.Xi2 += m.Xi2
-		agg.Xi3 += m.Xi3
-		agg.M += m.M
-		agg.ModeBorrowFrac += m.ModeBorrowFrac
-		agg.ModeSearchFrac += m.ModeSearchFrac
-		fair += m.Fairness
-		agg.Offered += m.Offered
-		agg.Grants += m.Grants
-		agg.Denies += m.Denies
-		agg.Messages += m.Messages
-	}
-	n := float64(len(env.Seeds))
-	agg.Blocking /= n
-	agg.HandoffDrop /= n
-	agg.MsgsPerCall /= n
-	agg.AcqTime /= n
-	agg.AcqP95 /= n
-	agg.Xi1 /= n
-	agg.Xi2 /= n
-	agg.Xi3 /= n
-	agg.M /= n
-	agg.ModeBorrowFrac /= n
-	agg.ModeSearchFrac /= n
-	agg.Fairness = fair / n
-	return agg, nil
+	return ms[0], nil
 }
 
 func runOnceFull(env Env, scheme string, profile traffic.Profile, handoffRate float64, seed uint64) (Measured, traffic.Stats, error) {

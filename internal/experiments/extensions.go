@@ -46,19 +46,24 @@ func AblationLender(env Env) (LenderResult, error) {
 	prim := env.PrimariesPerCell()
 	profile := traffic.NewHotspot(g, g.InteriorCell(), 1,
 		env.RatePerCell(0.35*prim), env.RatePerCell(1.1*prim))
-	for _, pol := range []core.LenderPolicy{core.LenderBest, core.LenderFirst, core.LenderRandom} {
+	policies := []core.LenderPolicy{core.LenderBest, core.LenderFirst, core.LenderRandom}
+	specs := make([]spec, len(policies))
+	for i, pol := range policies {
 		e := env
 		p := env.AdaptiveParams()
 		p.Lender = pol
 		e.Adaptive = p
-		m, err := RunScheme(e, "adaptive", profile, 0)
-		if err != nil {
-			return LenderResult{}, err
-		}
+		specs[i] = spec{env: e, scheme: "adaptive", profile: profile}
+	}
+	ms, err := runSpecs(env.workers(), specs)
+	if err != nil {
+		return LenderResult{}, err
+	}
+	for i, pol := range policies {
 		res.Policies = append(res.Policies, pol.String())
-		res.AttemptsPerBorrow = append(res.AttemptsPerBorrow, m.M)
-		res.Msgs = append(res.Msgs, m.MsgsPerCall)
-		res.Blocking = append(res.Blocking, m.Blocking)
+		res.AttemptsPerBorrow = append(res.AttemptsPerBorrow, ms[i].M)
+		res.Msgs = append(res.Msgs, ms[i].MsgsPerCall)
+		res.Blocking = append(res.Blocking, ms[i].Blocking)
 	}
 	return res, nil
 }
@@ -97,14 +102,18 @@ func Mobility(env Env, handoffsPerCall []float64, schemes []string) (MobilityRes
 		Title: "mobility", Rates: handoffsPerCall,
 		PerScheme: map[string][]float64{},
 	}
+	var specs []spec
 	for _, scheme := range schemes {
 		for _, h := range handoffsPerCall {
-			m, err := RunScheme(env, scheme, profile, h/env.MeanHold)
-			if err != nil {
-				return MobilityResult{}, err
-			}
-			res.PerScheme[scheme] = append(res.PerScheme[scheme], m.HandoffDrop)
+			specs = append(specs, spec{env: env, scheme: scheme, profile: profile, handoff: h / env.MeanHold})
 		}
+	}
+	ms, err := runSpecs(env.workers(), specs)
+	if err != nil {
+		return MobilityResult{}, err
+	}
+	for i := range specs {
+		res.PerScheme[specs[i].scheme] = append(res.PerScheme[specs[i].scheme], ms[i].HandoffDrop)
 	}
 	return res, nil
 }
@@ -150,18 +159,23 @@ func Latency(env Env, latencies []sim.Time, schemes []string) (LatencyResult, er
 	for _, l := range latencies {
 		res.Latencies = append(res.Latencies, float64(l))
 	}
+	var specs []spec
 	for _, scheme := range schemes {
 		for _, l := range latencies {
 			e := env
 			e.Latency = l
 			e.Adaptive = core.Params{} // re-derive defaults for the new T
-			m, err := RunScheme(e, scheme, profile, 0)
-			if err != nil {
-				return LatencyResult{}, err
-			}
-			res.DelayTicks[scheme] = append(res.DelayTicks[scheme], m.AcqTime*float64(l))
-			res.Blocking[scheme] = append(res.Blocking[scheme], m.Blocking)
+			specs = append(specs, spec{env: e, scheme: scheme, profile: profile})
 		}
+	}
+	ms, err := runSpecs(env.workers(), specs)
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	for i := range specs {
+		scheme, l := specs[i].scheme, specs[i].env.Latency
+		res.DelayTicks[scheme] = append(res.DelayTicks[scheme], ms[i].AcqTime*float64(l))
+		res.Blocking[scheme] = append(res.Blocking[scheme], ms[i].Blocking)
 	}
 	return res, nil
 }
@@ -199,24 +213,33 @@ func Repacking(env Env, loads []float64) (RepackResult, error) {
 		Blocking: map[string][]float64{},
 		Msgs:     map[string][]float64{},
 	}
-	for _, variant := range []struct {
+	variants := []struct {
 		name   string
 		repack bool
-	}{{"plain", false}, {"repack", true}} {
+	}{{"plain", false}, {"repack", true}}
+	var specs []spec
+	var names []string
+	for _, variant := range variants {
 		for _, hot := range loads {
 			e := env
 			p := env.AdaptiveParams()
 			p.Repack = variant.repack
 			e.Adaptive = p
-			profile := traffic.NewHotspot(g, g.InteriorCell(), 1,
-				env.RatePerCell(0.3*prim), env.RatePerCell(hot*prim))
-			m, err := RunScheme(e, "adaptive", profile, 0)
-			if err != nil {
-				return RepackResult{}, err
-			}
-			res.Blocking[variant.name] = append(res.Blocking[variant.name], m.Blocking)
-			res.Msgs[variant.name] = append(res.Msgs[variant.name], m.MsgsPerCall)
+			specs = append(specs, spec{
+				env: e, scheme: "adaptive",
+				profile: traffic.NewHotspot(g, g.InteriorCell(), 1,
+					env.RatePerCell(0.3*prim), env.RatePerCell(hot*prim)),
+			})
+			names = append(names, variant.name)
 		}
+	}
+	ms, err := runSpecs(env.workers(), specs)
+	if err != nil {
+		return RepackResult{}, err
+	}
+	for i := range specs {
+		res.Blocking[names[i]] = append(res.Blocking[names[i]], ms[i].Blocking)
+		res.Msgs[names[i]] = append(res.Msgs[names[i]], ms[i].MsgsPerCall)
 	}
 	return res, nil
 }
@@ -262,27 +285,31 @@ func Transient(env Env, schemes []string) (TransientResult, error) {
 		Title:   "F10 — transient hot spot: adaptive vs allocated-search (§6)",
 		Schemes: schemes,
 	}
-	for _, scheme := range schemes {
-		profile := traffic.Hotspot{
-			Base:  env.RatePerCell(0.3 * prim),
-			Hot:   env.RatePerCell(1.8 * prim),
-			Cells: map[hexgrid.CellID]bool{center: true},
-			Start: pulseStart,
-			End:   pulseEnd,
+	specs := make([]spec, len(schemes))
+	for i, scheme := range schemes {
+		specs[i] = spec{
+			env: env, scheme: scheme,
+			profile: traffic.Hotspot{
+				Base:  env.RatePerCell(0.3 * prim),
+				Hot:   env.RatePerCell(1.8 * prim),
+				Cells: map[hexgrid.CellID]bool{center: true},
+				Start: pulseStart,
+				End:   pulseEnd,
+			},
 		}
+	}
+	runs, err := runGrid(env.workers(), specs)
+	if err != nil {
+		return TransientResult{}, err
+	}
+	for i := range specs {
 		var hotBlock, msgs, acq float64
-		for _, seed := range env.Seeds {
-			e := env
-			e.Seeds = []uint64{seed}
-			m, ts, err := runOnceFull(e, scheme, profile, 0, seed)
-			if err != nil {
-				return TransientResult{}, err
+		for _, r := range runs[i] {
+			if off := r.ts.PerCellOffered[center]; off > 0 {
+				hotBlock += float64(r.ts.PerCellBlocked[center]) / float64(off)
 			}
-			if off := ts.PerCellOffered[center]; off > 0 {
-				hotBlock += float64(ts.PerCellBlocked[center]) / float64(off)
-			}
-			msgs += m.MsgsPerCall
-			acq += m.AcqTime
+			msgs += r.m.MsgsPerCall
+			acq += r.m.AcqTime
 		}
 		n := float64(len(env.Seeds))
 		res.HotBlocking = append(res.HotBlocking, hotBlock/n)

@@ -148,14 +148,23 @@ func LoadSweep(env Env, loads []float64, schemes []string) (SweepResult, error) 
 		Loads:     loads,
 		PerScheme: map[string][]Measured{},
 	}
+	var specs []spec
 	for _, scheme := range schemes {
 		for _, load := range loads {
-			m, err := RunScheme(env, scheme, traffic.Uniform{PerCell: env.RatePerCell(load * prim)}, 0)
-			if err != nil {
-				return SweepResult{}, err
-			}
-			res.PerScheme[scheme] = append(res.PerScheme[scheme], m)
+			specs = append(specs, spec{
+				env: env, scheme: scheme,
+				profile: traffic.Uniform{PerCell: env.RatePerCell(load * prim)},
+			})
 		}
+	}
+	ms, err := runSpecs(env.workers(), specs)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	i := 0
+	for _, scheme := range schemes {
+		res.PerScheme[scheme] = append(res.PerScheme[scheme], ms[i:i+len(loads)]...)
+		i += len(loads)
 	}
 	return res, nil
 }
@@ -206,40 +215,37 @@ func Hotspot(env Env, intensities []float64, schemes []string) (HotspotResult, e
 	}
 	g := gridOf(env)
 	center := g.InteriorCell()
+	var specs []spec
 	for _, scheme := range schemes {
 		for _, hot := range intensities {
-			profile := traffic.NewHotspot(g, center, 1,
-				env.RatePerCell(background*prim), env.RatePerCell(hot*prim))
-			var blockSum float64
-			for _, seed := range env.Seeds {
-				e := env
-				e.Seeds = []uint64{seed}
-				m, ts, err := runWithCells(e, scheme, profile)
-				if err != nil {
-					return HotspotResult{}, err
-				}
-				_ = m
-				var off, blk uint64
-				for c := range profile.Cells {
-					off += ts.PerCellOffered[c]
-					blk += ts.PerCellBlocked[c]
-				}
-				if off > 0 {
-					blockSum += float64(blk) / float64(off)
-				}
-			}
-			res.PerScheme[scheme] = append(res.PerScheme[scheme], blockSum/float64(len(env.Seeds)))
+			specs = append(specs, spec{
+				env: env, scheme: scheme,
+				profile: traffic.NewHotspot(g, center, 1,
+					env.RatePerCell(background*prim), env.RatePerCell(hot*prim)),
+			})
 		}
 	}
+	runs, err := runGrid(env.workers(), specs)
+	if err != nil {
+		return HotspotResult{}, err
+	}
+	for i := range specs {
+		cells := specs[i].profile.(traffic.Hotspot).Cells
+		var blockSum float64
+		for _, r := range runs[i] {
+			var off, blk uint64
+			for c := range cells {
+				off += r.ts.PerCellOffered[c]
+				blk += r.ts.PerCellBlocked[c]
+			}
+			if off > 0 {
+				blockSum += float64(blk) / float64(off)
+			}
+		}
+		scheme := specs[i].scheme
+		res.PerScheme[scheme] = append(res.PerScheme[scheme], blockSum/float64(len(env.Seeds)))
+	}
 	return res, nil
-}
-
-// runWithCells is runOnce but also returning the traffic stats (per-cell
-// breakdowns).
-func runWithCells(env Env, scheme string, profile traffic.Profile) (Measured, traffic.Stats, error) {
-	seed := env.Seeds[0]
-	m, ts, err := runOnceFull(env, scheme, profile, 0, seed)
-	return m, ts, err
 }
 
 // AblationResult sweeps one adaptive parameter.
@@ -278,19 +284,23 @@ func AblationAlpha(env Env, alphas []int) (AblationResult, error) {
 	res := AblationResult{Title: "F5a — adaptive ablation: α", Param: "alpha"}
 	prim := env.PrimariesPerCell()
 	profile := traffic.Uniform{PerCell: env.RatePerCell(0.8 * prim)}
-	for _, a := range alphas {
+	specs := make([]spec, len(alphas))
+	for i, a := range alphas {
 		e := env
 		p := env.AdaptiveParams()
 		p.Alpha = a
 		e.Adaptive = p
-		m, err := RunScheme(e, "adaptive", profile, 0)
-		if err != nil {
-			return AblationResult{}, err
-		}
+		specs[i] = spec{env: e, scheme: "adaptive", profile: profile}
+	}
+	ms, err := runSpecs(env.workers(), specs)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	for i, a := range alphas {
 		res.Values = append(res.Values, float64(a))
-		res.Blocking = append(res.Blocking, m.Blocking)
-		res.Delay = append(res.Delay, m.AcqTime)
-		res.Msgs = append(res.Msgs, m.MsgsPerCall)
+		res.Blocking = append(res.Blocking, ms[i].Blocking)
+		res.Delay = append(res.Delay, ms[i].AcqTime)
+		res.Msgs = append(res.Msgs, ms[i].MsgsPerCall)
 	}
 	return res, nil
 }
@@ -303,20 +313,24 @@ func AblationTheta(env Env, lows []float64) (AblationResult, error) {
 	res := AblationResult{Title: "F5b — adaptive ablation: θ_l (θ_h = θ_l + 2)", Param: "theta_l"}
 	prim := env.PrimariesPerCell()
 	profile := traffic.Uniform{PerCell: env.RatePerCell(0.7 * prim)}
-	for _, lo := range lows {
+	specs := make([]spec, len(lows))
+	for i, lo := range lows {
 		e := env
 		p := env.AdaptiveParams()
 		p.ThetaLow = lo
 		p.ThetaHigh = lo + 2
 		e.Adaptive = p
-		m, err := RunScheme(e, "adaptive", profile, 0)
-		if err != nil {
-			return AblationResult{}, err
-		}
+		specs[i] = spec{env: e, scheme: "adaptive", profile: profile}
+	}
+	ms, err := runSpecs(env.workers(), specs)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	for i, lo := range lows {
 		res.Values = append(res.Values, lo)
-		res.Blocking = append(res.Blocking, m.Blocking)
-		res.Delay = append(res.Delay, m.AcqTime)
-		res.Msgs = append(res.Msgs, m.MsgsPerCall)
+		res.Blocking = append(res.Blocking, ms[i].Blocking)
+		res.Delay = append(res.Delay, ms[i].AcqTime)
+		res.Msgs = append(res.Msgs, ms[i].MsgsPerCall)
 	}
 	return res, nil
 }
@@ -330,19 +344,23 @@ func AblationWindow(env Env, windows []int) (AblationResult, error) {
 	res := AblationResult{Title: "F5c — adaptive ablation: NFC window W", Param: "W (in T)"}
 	prim := env.PrimariesPerCell()
 	profile := traffic.Uniform{PerCell: env.RatePerCell(0.7 * prim)}
-	for _, w := range windows {
+	specs := make([]spec, len(windows))
+	for i, w := range windows {
 		e := env
 		p := env.AdaptiveParams()
 		p.Window = sim.Time(w) * env.Latency
 		e.Adaptive = p
-		m, err := RunScheme(e, "adaptive", profile, 0)
-		if err != nil {
-			return AblationResult{}, err
-		}
+		specs[i] = spec{env: e, scheme: "adaptive", profile: profile}
+	}
+	ms, err := runSpecs(env.workers(), specs)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	for i, w := range windows {
 		res.Values = append(res.Values, float64(w))
-		res.Blocking = append(res.Blocking, m.Blocking)
-		res.Delay = append(res.Delay, m.AcqTime)
-		res.Msgs = append(res.Msgs, m.MsgsPerCall)
+		res.Blocking = append(res.Blocking, ms[i].Blocking)
+		res.Delay = append(res.Delay, ms[i].AcqTime)
+		res.Msgs = append(res.Msgs, ms[i].MsgsPerCall)
 	}
 	return res, nil
 }
@@ -383,20 +401,27 @@ func Scalability(env Env, widths []int, schemes []string) (ScalabilityResult, er
 	for _, w := range widths {
 		res.Cells = append(res.Cells, float64(w*w))
 	}
+	var specs []spec
 	for _, scheme := range schemes {
 		for _, w := range widths {
 			e := env
 			e.Grid.Width, e.Grid.Height = w, w
 			// Scale the spectrum so primaries per cell stay constant.
 			prim := e.PrimariesPerCell()
-			profile := traffic.Uniform{PerCell: e.RatePerCell(0.6 * prim)}
-			m, err := RunScheme(e, scheme, profile, 0)
-			if err != nil {
-				return ScalabilityResult{}, err
-			}
-			res.PerScheme[scheme] = append(res.PerScheme[scheme], m.MsgsPerCall)
-			res.Blocking[scheme] = append(res.Blocking[scheme], m.Blocking)
+			specs = append(specs, spec{
+				env: e, scheme: scheme,
+				profile: traffic.Uniform{PerCell: e.RatePerCell(0.6 * prim)},
+			})
 		}
+	}
+	ms, err := runSpecs(env.workers(), specs)
+	if err != nil {
+		return ScalabilityResult{}, err
+	}
+	for i := range specs {
+		scheme := specs[i].scheme
+		res.PerScheme[scheme] = append(res.PerScheme[scheme], ms[i].MsgsPerCall)
+		res.Blocking[scheme] = append(res.Blocking[scheme], ms[i].Blocking)
 	}
 	return res, nil
 }
@@ -429,14 +454,21 @@ func Fairness(env Env, loads []float64, schemes []string) (FairnessResult, error
 	}
 	prim := env.PrimariesPerCell()
 	res := FairnessResult{Title: "fairness", Loads: loads, PerScheme: map[string][]float64{}}
+	var specs []spec
 	for _, scheme := range schemes {
 		for _, load := range loads {
-			m, err := RunScheme(env, scheme, traffic.Uniform{PerCell: env.RatePerCell(load * prim)}, 0)
-			if err != nil {
-				return FairnessResult{}, err
-			}
-			res.PerScheme[scheme] = append(res.PerScheme[scheme], m.Fairness)
+			specs = append(specs, spec{
+				env: env, scheme: scheme,
+				profile: traffic.Uniform{PerCell: env.RatePerCell(load * prim)},
+			})
 		}
+	}
+	ms, err := runSpecs(env.workers(), specs)
+	if err != nil {
+		return FairnessResult{}, err
+	}
+	for i := range specs {
+		res.PerScheme[specs[i].scheme] = append(res.PerScheme[specs[i].scheme], ms[i].Fairness)
 	}
 	return res, nil
 }

@@ -1,0 +1,185 @@
+package experiments
+
+// Sweep scheduling. Every experiment in this package decomposes into a
+// grid of independent leaf simulations — one (scheme, profile, handoff
+// rate, parameter point, seed) replication each — and a leaf never
+// spawns further leaves. The functions here flatten that grid into a
+// single job list and drain it on a bounded worker pool, replacing both
+// the old sequential scheme×load loops and the unbounded
+// goroutine-per-seed fan-out that RunScheme used to do.
+//
+// Determinism: each job writes its result into a slot fixed by its grid
+// index, and aggregation walks the slots in that fixed order on the
+// caller's goroutine. Float summation order is therefore identical to a
+// sequential run, so rendered artifacts are bit-for-bit the same at any
+// worker count (asserted by TestSweepDeterminismAcrossWidths).
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/traffic"
+)
+
+// DefaultWorkers is the worker-pool width used when Env.Workers is 0:
+// the ADCA_WORKERS environment variable if set to a positive integer,
+// else runtime.NumCPU(). Leaf simulations are CPU-bound and share
+// nothing, so one worker per core is the sweet spot.
+func DefaultWorkers() int {
+	if v := os.Getenv("ADCA_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.NumCPU()
+}
+
+// workers resolves the pool width in effect for this environment.
+func (e Env) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return DefaultWorkers()
+}
+
+// forEachJob invokes fn(0..n-1), each index exactly once, on up to
+// width concurrent workers. Width <= 1 degenerates to a plain inline
+// loop (no goroutines), which keeps single-threaded runs trivially
+// deterministic and cheap to reason about.
+func forEachJob(n, width int, fn func(int)) {
+	if width > n {
+		width = n
+	}
+	if width <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// spec is one leaf configuration of the job grid; it expands into
+// len(env.Seeds) replications.
+type spec struct {
+	env     Env
+	scheme  string
+	profile traffic.Profile
+	handoff float64
+}
+
+// seedRun is one replication's raw outcome.
+type seedRun struct {
+	m   Measured
+	ts  traffic.Stats
+	err error
+}
+
+// runGrid flattens specs × seeds into independent jobs, drains them on
+// a width-bounded pool and returns the outcomes as runs[specIdx][seedIdx].
+// Errors are reported in fixed grid order (first failing spec, first
+// failing seed within it), so the error surfaced does not depend on
+// scheduling.
+func runGrid(width int, specs []spec) ([][]seedRun, error) {
+	runs := make([][]seedRun, len(specs))
+	type jobID struct{ si, ri int }
+	var jobs []jobID
+	for si := range specs {
+		runs[si] = make([]seedRun, len(specs[si].env.Seeds))
+		for ri := range specs[si].env.Seeds {
+			jobs = append(jobs, jobID{si, ri})
+		}
+	}
+	forEachJob(len(jobs), width, func(i int) {
+		j := jobs[i]
+		sp := &specs[j.si]
+		m, ts, err := runOnceFull(sp.env, sp.scheme, sp.profile, sp.handoff, sp.env.Seeds[j.ri])
+		runs[j.si][j.ri] = seedRun{m: m, ts: ts, err: err}
+	})
+	for si := range specs {
+		for ri := range runs[si] {
+			if err := runs[si][ri].err; err != nil {
+				return nil, fmt.Errorf("%s (seed %d): %w", specs[si].scheme, specs[si].env.Seeds[ri], err)
+			}
+		}
+	}
+	return runs, nil
+}
+
+// aggregate averages one spec's replications in seed order — the exact
+// arithmetic (and summation order) RunScheme has always used, so a
+// parallel sweep reproduces sequential results bitwise.
+func aggregate(scheme string, runs []seedRun) Measured {
+	var agg Measured
+	agg.Scheme = scheme
+	var fair float64
+	for i := range runs {
+		m := runs[i].m
+		agg.Blocking += m.Blocking
+		agg.HandoffDrop += m.HandoffDrop
+		agg.MsgsPerCall += m.MsgsPerCall
+		agg.AcqTime += m.AcqTime
+		agg.AcqP95 += m.AcqP95
+		if m.AcqMax > agg.AcqMax {
+			agg.AcqMax = m.AcqMax
+		}
+		agg.Xi1 += m.Xi1
+		agg.Xi2 += m.Xi2
+		agg.Xi3 += m.Xi3
+		agg.M += m.M
+		agg.ModeBorrowFrac += m.ModeBorrowFrac
+		agg.ModeSearchFrac += m.ModeSearchFrac
+		fair += m.Fairness
+		agg.Offered += m.Offered
+		agg.Grants += m.Grants
+		agg.Denies += m.Denies
+		agg.Messages += m.Messages
+	}
+	n := float64(len(runs))
+	agg.Blocking /= n
+	agg.HandoffDrop /= n
+	agg.MsgsPerCall /= n
+	agg.AcqTime /= n
+	agg.AcqP95 /= n
+	agg.Xi1 /= n
+	agg.Xi2 /= n
+	agg.Xi3 /= n
+	agg.M /= n
+	agg.ModeBorrowFrac /= n
+	agg.ModeSearchFrac /= n
+	agg.Fairness = fair / n
+	return agg
+}
+
+// runSpecs runs the whole grid and collapses each spec's replications
+// into one Measured, in spec order.
+func runSpecs(width int, specs []spec) ([]Measured, error) {
+	runs, err := runGrid(width, specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Measured, len(specs))
+	for i := range specs {
+		out[i] = aggregate(specs[i].scheme, runs[i])
+	}
+	return out, nil
+}

@@ -106,11 +106,16 @@ func Table1(env Env) (TableResult, error) {
 			fmt.Sprintf("N=%v interior interference neighbors, α=%d", env.InterferenceDegree(), env.AdaptiveParams().Alpha),
 		},
 	}
+	specs := make([]spec, 0, len(dynamicSchemes()))
 	for _, scheme := range dynamicSchemes() {
-		m, err := RunScheme(env, scheme, profile, 0)
-		if err != nil {
-			return TableResult{}, err
-		}
+		specs = append(specs, spec{env: env, scheme: scheme, profile: profile})
+	}
+	ms, err := runSpecs(env.workers(), specs)
+	if err != nil {
+		return TableResult{}, err
+	}
+	for i, scheme := range dynamicSchemes() {
+		m := ms[i]
 		pm, pt := predict(env, m)
 		res.Rows = append(res.Rows, TableRow{
 			Scheme:       scheme,
@@ -134,11 +139,16 @@ func Table2(env Env) (TableResult, error) {
 		Title: "Table 2 — low-load comparison (0.08 Erlang per primary channel)",
 		Notes: []string{"prediction columns are the paper's Table 2 entries (T-units)"},
 	}
+	specs := make([]spec, 0, len(dynamicSchemes()))
 	for _, scheme := range dynamicSchemes() {
-		m, err := RunScheme(env, scheme, profile, 0)
-		if err != nil {
-			return TableResult{}, err
-		}
+		specs = append(specs, spec{env: env, scheme: scheme, profile: profile})
+	}
+	ms, err := runSpecs(env.workers(), specs)
+	if err != nil {
+		return TableResult{}, err
+	}
+	for i, scheme := range dynamicSchemes() {
+		m := ms[i]
 		res.Rows = append(res.Rows, TableRow{
 			Scheme:       scheme,
 			MeasuredMsgs: m.MsgsPerCall, PredMsgs: ref[scheme][0],
@@ -210,6 +220,20 @@ func Table3(env Env, loads []float64) (Table3Result, error) {
 			"mean per-call values; the update baselines' maxima grow with MaxRounds",
 		},
 	}
+	var specs []spec
+	for _, scheme := range dynamicSchemes() {
+		for _, load := range loads {
+			specs = append(specs, spec{
+				env: env, scheme: scheme,
+				profile: traffic.Uniform{PerCell: env.RatePerCell(load * prim)},
+			})
+		}
+	}
+	ms, err := runSpecs(env.workers(), specs)
+	if err != nil {
+		return Table3Result{}, err
+	}
+	i := 0
 	for _, scheme := range dynamicSchemes() {
 		row := BoundRow{
 			Scheme:  scheme,
@@ -218,12 +242,9 @@ func Table3(env Env, loads []float64) (Table3Result, error) {
 			BoundMsgs: bounds[scheme].MaxMessages,
 			BoundTime: bounds[scheme].MaxAcqTime,
 		}
-		for _, load := range loads {
-			profile := traffic.Uniform{PerCell: env.RatePerCell(load * prim)}
-			m, err := RunScheme(env, scheme, profile, 0)
-			if err != nil {
-				return Table3Result{}, err
-			}
+		for range loads {
+			m := ms[i]
+			i++
 			row.MinMsgs = math.Min(row.MinMsgs, m.MsgsPerCall)
 			row.MaxMsgs = math.Max(row.MaxMsgs, m.MsgsPerCall)
 			row.MinTime = math.Min(row.MinTime, m.AcqTime)

@@ -30,6 +30,7 @@ func BenchmarkEngineCascade(b *testing.B) {
 }
 
 func BenchmarkRandUint64(b *testing.B) {
+	b.ReportAllocs()
 	r := NewRand(1)
 	var sink uint64
 	for i := 0; i < b.N; i++ {
@@ -39,6 +40,7 @@ func BenchmarkRandUint64(b *testing.B) {
 }
 
 func BenchmarkRandExpTicks(b *testing.B) {
+	b.ReportAllocs()
 	r := NewRand(1)
 	var sink Time
 	for i := 0; i < b.N; i++ {
@@ -48,6 +50,7 @@ func BenchmarkRandExpTicks(b *testing.B) {
 }
 
 func BenchmarkRandIntn(b *testing.B) {
+	b.ReportAllocs()
 	r := NewRand(1)
 	var sink int
 	for i := 0; i < b.N; i++ {

@@ -82,6 +82,17 @@ func Run(s *driver.Sim, spec Spec) (Stats, error) {
 		PerCellBlocked: make([]uint64, n),
 	}
 	g := &generator{sim: s, spec: spec, stats: &st}
+	// Capacity hint for the DES kernel: the queue concurrently holds one
+	// candidate arrival per cell plus roughly one release/handoff event
+	// per held call, and the expected held-call count is the offered load
+	// in Erlangs (Σ rate × mean hold). 2x headroom avoids growth copies.
+	var totalRate float64
+	for i := 0; i < n; i++ {
+		if r := spec.Profile.MaxRate(hexgrid.CellID(i)); r > 0 {
+			totalRate += r
+		}
+	}
+	s.Engine().Reserve(n + 64 + int(2*totalRate*spec.MeanHold))
 	for i := 0; i < n; i++ {
 		cell := hexgrid.CellID(i)
 		g.scheduleArrival(cell, sim.Substream(spec.Seed, 0x7a0+uint64(i)))
