@@ -14,8 +14,9 @@
 //	chansim -erlang 9 -metrics :9090 -linger 1m -journal run.jsonl
 //
 // Performance: -bench runs the measurement harness instead of a
-// scenario and emits a BENCH_*.json document (per-event kernel cost and
-// sweep wall-clock; see DESIGN.md §9). -bench-quick shrinks the
+// scenario and emits a BENCH_*.json document (per-event kernel cost,
+// sweep wall-clock, and live-network message path over loopback TCP;
+// see DESIGN.md §9). -bench-quick shrinks the
 // workload for CI smoke; -bench-out writes the JSON to a file;
 // -workers bounds the sweep pool.
 package main

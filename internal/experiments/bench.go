@@ -52,10 +52,11 @@ type SweepBench struct {
 // BenchReport is the JSON document `chansim -bench` emits.
 type BenchReport struct {
 	// GOMAXPROCS records the core budget the numbers were taken under.
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Quick      bool        `json:"quick"`
-	Kernel     KernelBench `json:"kernel"`
-	Sweep      SweepBench  `json:"sweep"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Quick      bool         `json:"quick"`
+	Kernel     KernelBench  `json:"kernel"`
+	Sweep      SweepBench   `json:"sweep"`
+	Network    NetworkBench `json:"network"`
 }
 
 // benchEnv is the scenario the harness measures. Quick mode shortens
@@ -159,11 +160,16 @@ func RunBench(workers int, quick bool) (BenchReport, error) {
 	if err != nil {
 		return BenchReport{}, err
 	}
+	network, err := RunNetworkBench(quick)
+	if err != nil {
+		return BenchReport{}, err
+	}
 	return BenchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      quick,
 		Kernel:     kernel,
 		Sweep:      sweep,
+		Network:    network,
 	}, nil
 }
 

@@ -122,10 +122,37 @@ func Write(w io.Writer, m Message) error {
 
 // Read reads exactly one message from r (blocking until a full message
 // arrives). io.EOF is returned unwrapped when the stream ends cleanly
-// at a message boundary.
+// at a message boundary. It allocates a fresh frame buffer per call;
+// long-lived stream consumers should use a Reader instead.
 func Read(r io.Reader) (Message, error) {
-	var hdr [headerLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var d Reader
+	d.r = r
+	return d.Next()
+}
+
+// Reader decodes a stream of back-to-back messages, reusing one scratch
+// frame buffer across calls so the steady-state wire path allocates
+// only what the decoded message must own (its Use-set words). One
+// Reader per connection; not safe for concurrent use.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader returns a Reader decoding the stream r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r, buf: make([]byte, headerLen, 256)}
+}
+
+// Next reads exactly one message (blocking until a full message
+// arrives). io.EOF is returned unwrapped when the stream ends cleanly
+// at a message boundary.
+func (d *Reader) Next() (Message, error) {
+	if cap(d.buf) < headerLen {
+		d.buf = make([]byte, headerLen, 256)
+	}
+	hdr := d.buf[:headerLen]
+	if _, err := io.ReadFull(d.r, hdr); err != nil {
 		if err == io.ErrUnexpectedEOF {
 			return Message{}, fmt.Errorf("message: truncated header: %w", err)
 		}
@@ -135,10 +162,15 @@ func Read(r io.Reader) (Message, error) {
 	if nWords > MaxSetWords {
 		return Message{}, fmt.Errorf("message: use set too large: %d words", nWords)
 	}
-	buf := make([]byte, headerLen+8*int(nWords))
-	copy(buf, hdr[:])
+	total := headerLen + 8*int(nWords)
+	if cap(d.buf) < total {
+		grown := make([]byte, total)
+		copy(grown, hdr)
+		d.buf = grown
+	}
+	buf := d.buf[:total]
 	if nWords > 0 {
-		if _, err := io.ReadFull(r, buf[headerLen:]); err != nil {
+		if _, err := io.ReadFull(d.r, buf[headerLen:]); err != nil {
 			return Message{}, fmt.Errorf("message: truncated body: %w", err)
 		}
 	}

@@ -184,6 +184,40 @@ func TestStreamReadWrite(t *testing.T) {
 	}
 }
 
+// TestReaderStream checks the scratch-reusing Reader: a stream decoded
+// through one Reader yields the same messages as per-call Read, each
+// message owning an independent Use set (no aliasing of the scratch).
+func TestReaderStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		{Kind: Response, Res: ResSearch, From: 2, To: 1, Use: chanset.SetOf(3, 99)},
+		{Kind: Release, From: 1, To: 2, Ch: 7},
+		{Kind: Response, Res: ResStatus, From: 5, To: 1, Use: chanset.SetOf(0, 63, 64)},
+	}
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	var got []Message
+	for i := range msgs {
+		m, err := r.Next()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		got = append(got, m)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("clean stream end should be io.EOF, got %v", err)
+	}
+	for i, want := range msgs {
+		if !sameMessage(want, got[i]) {
+			t.Fatalf("message %d mismatch:\n in:  %v\n out: %v", i, want, got[i])
+		}
+	}
+}
+
 func TestStreamReadTruncated(t *testing.T) {
 	full := Encode(nil, Message{Kind: Response, Res: ResSearch, Use: chanset.SetOf(200)})
 	// Truncated header.

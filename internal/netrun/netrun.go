@@ -24,6 +24,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/alloc"
@@ -94,8 +95,6 @@ type Node struct {
 	hosted map[hexgrid.CellID]alloc.Allocator
 
 	mu              sync.Mutex
-	routes          map[hexgrid.CellID]string // cell → peer address
-	peers           map[string]*peerConn
 	accepted        []net.Conn
 	pending         map[alloc.RequestID]*pendingReq
 	expired         map[alloc.RequestID]bool
@@ -108,15 +107,42 @@ type Node struct {
 	badReleases     uint64
 	closed          bool
 
+	// netMu guards the routing table and peer set; the per-message send
+	// path only ever takes it in read mode.
+	netMu  sync.RWMutex
+	routes map[hexgrid.CellID]string // cell → peer address
+	peers  map[string]*peerConn
+
 	start time.Time
 	wg    sync.WaitGroup
 }
 
+// peerConn is one outgoing TCP link. Senders enqueue decoded messages;
+// a dedicated writer goroutine (Node.writeLoop) encodes them with a
+// reused scratch buffer and flushes once per drained batch, so
+// concurrent senders never serialize on a connection mutex and a burst
+// of messages costs one syscall, not one per message.
 type peerConn struct {
-	mu   sync.Mutex
 	conn net.Conn
-	w    *bufio.Writer
+	q    chan message.Message
+	done chan struct{} // closed by close(); unblocks senders and the writer
+
+	closeOnce sync.Once
 }
+
+// close tears the link down exactly once (Node.Close and the dial/close
+// race in Node.peer can both reach it).
+func (p *peerConn) close() {
+	p.closeOnce.Do(func() {
+		close(p.done)
+		p.conn.Close()
+	})
+}
+
+// peerQueueDepth bounds each outgoing link's send queue; a full queue
+// applies backpressure to senders (blocking, like the old per-message
+// connection mutex, but only once the link is genuinely saturated).
+const peerQueueDepth = 1024
 
 // NewNode builds a node hosting cfg.Cells of grid, starts its stations,
 // and listens on addr ("127.0.0.1:0" for an ephemeral port). Routes for
@@ -215,8 +241,8 @@ func (n *Node) Addr() string { return n.ln.Addr().String() }
 
 // SetRoutes installs the cell → address table for remote cells.
 func (n *Node) SetRoutes(routes map[hexgrid.CellID]string) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.netMu.Lock()
+	defer n.netMu.Unlock()
 	for c, a := range routes {
 		n.routes[c] = a
 	}
@@ -236,11 +262,13 @@ func (n *Node) Close() {
 	if n.rel != nil {
 		n.rel.Close()
 	}
-	n.mu.Lock()
 	n.ln.Close()
+	n.netMu.Lock()
 	for _, p := range n.peers {
-		p.conn.Close()
+		p.close() // unblock senders and tell the writer to exit
 	}
+	n.netMu.Unlock()
+	n.mu.Lock()
 	for _, c := range n.accepted {
 		c.Close() // unblock readLoops waiting on remote peers
 	}
@@ -272,9 +300,9 @@ func (n *Node) acceptLoop() {
 func (n *Node) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer conn.Close()
-	r := bufio.NewReader(conn)
+	dec := message.NewReader(bufio.NewReader(conn))
 	for {
-		m, err := message.Read(r)
+		m, err := dec.Next()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !n.isClosed() {
 				// Connection torn down mid-message during shutdown is
@@ -303,35 +331,45 @@ func (n *Node) isClosed() bool {
 type nodeTransport struct {
 	n *Node
 
-	mu       sync.Mutex
+	// handlers is written only during NewNode's attach loop, before any
+	// station runs; the RWMutex makes that ordering explicit without
+	// putting an exclusive lock on the per-message deliver path.
+	hmu      sync.RWMutex
 	handlers map[hexgrid.CellID]transport.Handler
-	stats    transport.Stats
+
+	// Traffic accounting is atomic: one counter update per message, no
+	// critical sections on the send path (stats used to take a mutex
+	// twice per message — once for the count, once for the bytes).
+	total  atomic.Uint64
+	bytes  atomic.Uint64
+	byKind [message.NumKinds]atomic.Uint64
+	// wirePending counts messages accepted for a peer queue but not yet
+	// written out, so Idle covers the writer pipelines.
+	wirePending atomic.Int64
 }
 
 // Attach implements transport.Transport.
 func (t *nodeTransport) Attach(id hexgrid.CellID, h transport.Handler) {
-	t.mu.Lock()
+	t.hmu.Lock()
 	t.handlers[id] = h
-	t.mu.Unlock()
+	t.hmu.Unlock()
 }
 
 // Send implements transport.Transport: local destinations go through the
-// hosted cell's mailbox, remote ones over the peer connection.
+// hosted cell's mailbox, remote ones onto the peer writer's queue.
 func (t *nodeTransport) Send(m message.Message) {
-	t.mu.Lock()
-	t.stats.Total++
-	if int(m.Kind) < len(t.stats.ByKind) {
-		t.stats.ByKind[m.Kind]++
+	t.total.Add(1)
+	if int(m.Kind) < len(t.byKind) {
+		t.byKind[m.Kind].Add(1)
 	}
-	t.mu.Unlock()
 	n := t.n
 	if _, ok := n.hosted[m.To]; ok {
 		t.deliver(m)
 		return
 	}
-	n.mu.Lock()
+	n.netMu.RLock()
 	addr, ok := n.routes[m.To]
-	n.mu.Unlock()
+	n.netMu.RUnlock()
 	if !ok {
 		panic(fmt.Sprintf("netrun: no route to cell %d", m.To))
 	}
@@ -342,23 +380,20 @@ func (t *nodeTransport) Send(m message.Message) {
 		}
 		panic(fmt.Sprintf("netrun: dial %s: %v", addr, err))
 	}
-	buf := message.Encode(nil, m)
-	p.mu.Lock()
-	if _, err := p.w.Write(buf); err == nil {
-		p.w.Flush()
+	t.wirePending.Add(1)
+	select {
+	case p.q <- m:
+	case <-p.done:
+		t.wirePending.Add(-1) // shutdown race: message dropped
 	}
-	p.mu.Unlock()
-	t.mu.Lock()
-	t.stats.Bytes += uint64(len(buf))
-	t.mu.Unlock()
 }
 
 // deliver hands m to the attached (stack-wrapped) handler of a hosted
 // cell, on that cell's mailbox goroutine.
 func (t *nodeTransport) deliver(m message.Message) {
-	t.mu.Lock()
+	t.hmu.RLock()
 	h := t.handlers[m.To]
-	t.mu.Unlock()
+	t.hmu.RUnlock()
 	if h == nil {
 		fmt.Printf("netrun: misrouted message for cell %d\n", m.To)
 		return
@@ -368,40 +403,129 @@ func (t *nodeTransport) deliver(m message.Message) {
 
 // Stats implements transport.Transport.
 func (t *nodeTransport) Stats() transport.Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	var s transport.Stats
+	s.Total = t.total.Load()
+	s.Bytes = t.bytes.Load()
+	for i := range s.ByKind {
+		s.ByKind[i] = t.byKind[i].Load()
+	}
+	return s
 }
 
-// Idle implements transport.Idler.
-func (t *nodeTransport) Idle() bool { return t.n.local.Idle() }
+// Idle implements transport.Idler: local mailboxes drained and no
+// message parked in a peer writer queue.
+func (t *nodeTransport) Idle() bool {
+	return t.wirePending.Load() == 0 && t.n.local.Idle()
+}
 
+// peer returns the connection to addr, dialing it on first use. Dials
+// run outside the lock, so concurrent first senders may race; the loser
+// closes its extra connection and adopts the winner's.
 func (n *Node) peer(addr string) (*peerConn, error) {
-	n.mu.Lock()
-	if p, ok := n.peers[addr]; ok {
-		n.mu.Unlock()
+	n.netMu.RLock()
+	p, ok := n.peers[addr]
+	n.netMu.RUnlock()
+	if ok {
 		return p, nil
 	}
-	n.mu.Unlock()
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, err
 	}
-	p := &peerConn{conn: conn, w: bufio.NewWriter(conn)}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	p = &peerConn{
+		conn: conn,
+		q:    make(chan message.Message, peerQueueDepth),
+		done: make(chan struct{}),
+	}
+	n.netMu.Lock()
 	if existing, ok := n.peers[addr]; ok {
+		n.netMu.Unlock()
 		conn.Close() // lost the dial race
 		return existing, nil
 	}
 	n.peers[addr] = p
+	n.netMu.Unlock()
+	// The closed check and wg.Add must be atomic with respect to Close
+	// (which sets closed before waiting on wg), or the writer could be
+	// spawned after the final wg.Wait.
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		p.close() // raced with Close after registration
+		return p, nil
+	}
+	n.wg.Add(1)
+	n.mu.Unlock()
+	go n.writeLoop(p)
 	return p, nil
+}
+
+// writeLoop is the single writer for one peer link: it encodes queued
+// messages into a reused scratch buffer and flushes once per drained
+// batch. TCP ordering plus the single consumer preserve per-link FIFO.
+func (n *Node) writeLoop(p *peerConn) {
+	defer n.wg.Done()
+	defer p.conn.Close()
+	w := bufio.NewWriter(p.conn)
+	buf := make([]byte, 0, 512)
+	for {
+		var m message.Message
+		select {
+		case m = <-p.q:
+		case <-p.done:
+			w.Flush()
+			return
+		}
+		for {
+			buf = message.Encode(buf[:0], m)
+			if _, err := w.Write(buf); err != nil {
+				n.fabric.wirePending.Add(-1)
+				n.drainPeer(p)
+				return
+			}
+			n.fabric.bytes.Add(uint64(len(buf)))
+			n.fabric.wirePending.Add(-1)
+			// Coalesce: keep encoding whatever is already queued and
+			// pay for one Flush per batch instead of one per message.
+			select {
+			case m = <-p.q:
+				continue
+			default:
+			}
+			break
+		}
+		if err := w.Flush(); err != nil {
+			n.drainPeer(p)
+			return
+		}
+	}
+}
+
+// drainPeer discards queued traffic for a dead link until shutdown so
+// senders never block on a connection that stopped writing. Losses are
+// the reliability layer's problem, exactly like losses on the wire.
+func (n *Node) drainPeer(p *peerConn) {
+	if !n.isClosed() {
+		fmt.Printf("netrun: write error on peer link; dropping queued traffic\n")
+	}
+	for {
+		select {
+		case <-p.q:
+			n.fabric.wirePending.Add(-1)
+		case <-p.done:
+			return
+		}
+	}
 }
 
 // MessagesSent returns the number of messages this node put on the
 // fabric (local and remote; with a reliability layer this includes acks
 // and retransmits — they are real traffic).
 func (n *Node) MessagesSent() uint64 { return n.fabric.Stats().Total }
+
+// FabricStats returns the raw fabric accounting (message and wire-byte
+// counts below the reliability layer), for benchmark harnesses.
+func (n *Node) FabricStats() transport.Stats { return n.fabric.Stats() }
 
 // Stats returns the node's transport accounting measured at the top of
 // the stack: fabric traffic plus fault-injection and reliability

@@ -1,0 +1,104 @@
+package netrun
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chanset"
+	"repro/internal/hexgrid"
+	"repro/internal/message"
+	"repro/internal/registry"
+)
+
+// twoNodes builds a minimal two-node cluster (cells split even/odd)
+// and returns it with its routing installed.
+func twoNodes(t testing.TB) (a, b *Node, grid *hexgrid.Grid) {
+	t.Helper()
+	grid = hexgrid.MustNew(hexgrid.Config{Shape: hexgrid.Rect, Width: 5, Height: 5, ReuseDistance: 2, Wrap: true})
+	assign := chanset.MustAssign(grid, 16)
+	factory, err := registry.Build("adaptive", grid, assign, registry.Config{Latency: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([][]hexgrid.CellID, 2)
+	for c := 0; c < grid.NumCells(); c++ {
+		parts[c%2] = append(parts[c%2], hexgrid.CellID(c))
+	}
+	nodes := make([]*Node, 2)
+	for i := range nodes {
+		n, err := NewNode(grid, assign, factory, "127.0.0.1:0", Config{
+			Cells: parts[i], LatencyTicks: 10, Seed: uint64(i) + 1,
+			TickDuration: 20 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		t.Cleanup(n.Close)
+	}
+	routes := map[hexgrid.CellID]string{}
+	for c := 0; c < grid.NumCells(); c++ {
+		routes[hexgrid.CellID(c)] = nodes[c%2].Addr()
+	}
+	for _, n := range nodes {
+		n.SetRoutes(routes)
+	}
+	return nodes[0], nodes[1], grid
+}
+
+// TestPeerDialRace hammers Node.peer for a not-yet-dialed address from
+// many goroutines (run under -race): every caller must get the same
+// peerConn, the peer table must hold exactly one entry, and the losers'
+// extra connections must be closed rather than leaked as writers.
+func TestPeerDialRace(t *testing.T) {
+	a, b, _ := twoNodes(t)
+	addr := b.Addr()
+	const callers = 32
+	conns := make([]*peerConn, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := a.peer(addr)
+			if err != nil {
+				t.Errorf("peer: %v", err)
+				return
+			}
+			conns[i] = p
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if conns[i] != conns[0] {
+			t.Fatalf("caller %d got a different peerConn", i)
+		}
+	}
+	a.netMu.RLock()
+	n := len(a.peers)
+	a.netMu.RUnlock()
+	if n != 1 {
+		t.Fatalf("peer table holds %d entries, want 1", n)
+	}
+	// The surviving link must actually carry traffic.
+	sent := a.fabric.Stats().Total
+	a.fabric.Send(message.Message{Kind: message.Release, From: 0, To: 1, Ch: chanset.NoChannel})
+	if got := a.fabric.Stats().Total; got != sent+1 {
+		t.Fatalf("send through raced peer not counted: %d -> %d", sent, got)
+	}
+}
+
+// TestLocalSendAllocBudget bounds caller-side allocations of the local
+// fast path (stats update + mailbox closure): the atomic-stats rewrite
+// must not reintroduce per-message lock-or-box allocations beyond the
+// two unavoidable delivery closures.
+func TestLocalSendAllocBudget(t *testing.T) {
+	a, _, _ := twoNodes(t)
+	m := message.Message{Kind: message.Release, From: 2, To: 0, Ch: chanset.NoChannel}
+	allocs := testing.AllocsPerRun(200, func() { a.fabric.Send(m) })
+	if allocs > 2 {
+		t.Fatalf("local fabric send allocates %.1f objects/message on the caller, want <= 2", allocs)
+	}
+}

@@ -17,8 +17,11 @@ import (
 //
 // Per-link FIFO: with zero Delay, senders enqueue directly into the
 // receiver's mailbox, so program order on the sender is delivery order.
-// With a positive Delay, each (from, to) link gets a dedicated pipeline
-// goroutine that sleeps Delay per message, preserving FIFO exactly.
+// With a positive Delay, messages pass through a single timer-wheel
+// scheduler goroutine (see delaySched) that delivers each message Delay
+// after its send while preserving Send-call order — O(1) goroutines
+// regardless of how many (from, to) pairs talk, and back-to-back sends
+// on one link overlap in flight instead of serializing one Delay apart.
 //
 // Shutdown: Stop closes a done channel instead of the mailboxes, so a
 // Send or Do racing (or arriving after) Stop is dropped cleanly rather
@@ -29,19 +32,27 @@ type Live struct {
 	delay    time.Duration
 	capacity int
 
+	// mu guards configuration (Attach/Start/Stop). The per-message hot
+	// paths never take it: boxes and handlers are frozen at Start (Attach
+	// afterwards panics), and the stop flag is atomic.
 	mu       sync.Mutex
 	boxes    map[hexgrid.CellID]chan func()
 	handlers map[hexgrid.CellID]Handler
-	links    map[linkKey]chan message.Message
 	started  bool
-	stopped  bool
+	sched    *delaySched // delay scheduler; non-nil iff delay > 0
 	done     chan struct{}
 	wg       sync.WaitGroup
-	linkWG   sync.WaitGroup
 
-	inflight atomic.Int64 // enqueued-but-unprocessed closures + link queue
-	total    atomic.Uint64
-	byKind   [message.NumKinds]atomic.Uint64
+	stopped  atomic.Bool
+	inflight atomic.Int64 // enqueued-but-unprocessed closures + scheduled messages
+
+	// idleMu guards the WaitIdle waiter list; doneWork closes every
+	// registered channel when inflight reaches zero.
+	idleMu      sync.Mutex
+	idleWaiters []chan struct{}
+
+	total  atomic.Uint64
+	byKind [message.NumKinds]atomic.Uint64
 	// droppedOnStop counts sends/closures discarded because the
 	// transport was already stopped (shutdown-race accounting).
 	droppedOnStop atomic.Uint64
@@ -54,35 +65,46 @@ func NewLive(delay time.Duration, capacity int) *Live {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &Live{
+	l := &Live{
 		delay:    delay,
 		capacity: capacity,
 		boxes:    make(map[hexgrid.CellID]chan func()),
 		handlers: make(map[hexgrid.CellID]Handler),
-		links:    make(map[linkKey]chan message.Message),
 		done:     make(chan struct{}),
 	}
+	if delay > 0 {
+		l.sched = newDelaySched(l)
+	}
+	return l
 }
 
 // Attach implements Transport. Must be called before Start.
 func (l *Live) Attach(id hexgrid.CellID, h Handler) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.started || l.stopped {
+	if l.started || l.stopped.Load() {
 		panic("transport: Attach after Start")
 	}
 	l.handlers[id] = h
 	l.boxes[id] = make(chan func(), l.capacity)
 }
 
-// Start launches one goroutine per attached station.
+// Start launches one goroutine per attached station, plus the delay
+// scheduler goroutine when a positive Delay is configured.
 func (l *Live) Start() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.started || l.stopped {
+	if l.started || l.stopped.Load() {
 		panic("transport: double Start")
 	}
 	l.started = true
+	if l.sched != nil {
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			l.sched.loop(l.done)
+		}()
+	}
 	for _, box := range l.boxes {
 		box := box
 		l.wg.Add(1)
@@ -92,15 +114,14 @@ func (l *Live) Start() {
 				select {
 				case fn := <-box:
 					fn()
-					l.inflight.Add(-1)
+					l.doneWork(false)
 				case <-l.done:
 					// Drain whatever is already queued without
 					// executing it, so inflight stays balanced.
 					for {
 						select {
 						case <-box:
-							l.inflight.Add(-1)
-							l.droppedOnStop.Add(1)
+							l.doneWork(true)
 						default:
 							return
 						}
@@ -111,33 +132,29 @@ func (l *Live) Start() {
 	}
 }
 
-// Stop terminates all station and link goroutines. Safe to call
+// Stop terminates the station and scheduler goroutines. Safe to call
 // concurrently with Send and Do: late traffic is dropped, never
 // panicked on.
 func (l *Live) Stop() {
 	l.mu.Lock()
-	if !l.started || l.stopped {
+	if !l.started || l.stopped.Load() {
 		l.mu.Unlock()
 		return
 	}
-	l.stopped = true
+	l.stopped.Store(true)
 	close(l.done)
 	l.mu.Unlock()
-	l.linkWG.Wait()
 	l.wg.Wait()
 }
 
 // Do runs fn on the station goroutine of cell (serialized with its
 // message handling). After Stop, fn is silently discarded.
 func (l *Live) Do(cell hexgrid.CellID, fn func()) {
-	l.mu.Lock()
 	box, ok := l.boxes[cell]
-	stopped := l.stopped
-	l.mu.Unlock()
 	if !ok {
 		panic(fmt.Sprintf("transport: Do on unattached cell %d", cell))
 	}
-	if stopped {
+	if l.stopped.Load() {
 		l.droppedOnStop.Add(1)
 		return
 	}
@@ -145,8 +162,7 @@ func (l *Live) Do(cell hexgrid.CellID, fn func()) {
 	select {
 	case box <- fn:
 	case <-l.done:
-		l.inflight.Add(-1)
-		l.droppedOnStop.Add(1)
+		l.doneWork(true)
 	}
 }
 
@@ -156,34 +172,27 @@ func (l *Live) Send(m message.Message) {
 	if int(m.Kind) < len(l.byKind) {
 		l.byKind[m.Kind].Add(1)
 	}
-	if l.delay <= 0 {
+	if l.sched == nil {
 		l.deliver(m)
 		return
 	}
-	ch := l.link(m.From, m.To)
-	if ch == nil {
+	if l.stopped.Load() {
 		l.droppedOnStop.Add(1)
 		return
 	}
 	l.inflight.Add(1)
-	select {
-	case ch <- m:
-	case <-l.done:
-		l.inflight.Add(-1)
-		l.droppedOnStop.Add(1)
+	if !l.sched.schedule(m) {
+		l.doneWork(true) // lost the race with Stop's drain
 	}
 }
 
 func (l *Live) deliver(m message.Message) {
-	l.mu.Lock()
 	h, ok := l.handlers[m.To]
-	box := l.boxes[m.To]
-	stopped := l.stopped
-	l.mu.Unlock()
 	if !ok {
 		panic(fmt.Sprintf("transport: send to unattached cell %d: %v", m.To, m))
 	}
-	if stopped {
+	box := l.boxes[m.To]
+	if l.stopped.Load() {
 		l.droppedOnStop.Add(1)
 		return
 	}
@@ -191,48 +200,27 @@ func (l *Live) deliver(m message.Message) {
 	select {
 	case box <- func() { h.Handle(m) }:
 	case <-l.done:
-		l.inflight.Add(-1)
-		l.droppedOnStop.Add(1)
+		l.doneWork(true)
 	}
 }
 
-// link returns (lazily creating) the FIFO pipeline for one ordered pair,
-// or nil when the transport is stopped.
-func (l *Live) link(from, to hexgrid.CellID) chan message.Message {
-	key := linkKey{from, to}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.stopped {
-		return nil
+// doneWork retires one unit of in-flight work; the transition to zero
+// wakes every WaitIdle waiter. dropped marks work discarded by a
+// shutdown race rather than executed.
+func (l *Live) doneWork(dropped bool) {
+	if dropped {
+		l.droppedOnStop.Add(1)
 	}
-	ch, ok := l.links[key]
-	if !ok {
-		ch = make(chan message.Message, l.capacity)
-		l.links[key] = ch
-		l.linkWG.Add(1)
-		go func() {
-			defer l.linkWG.Done()
-			for {
-				select {
-				case m := <-ch:
-					time.Sleep(l.delay)
-					l.deliver(m)
-					l.inflight.Add(-1)
-				case <-l.done:
-					for {
-						select {
-						case <-ch:
-							l.inflight.Add(-1)
-							l.droppedOnStop.Add(1)
-						default:
-							return
-						}
-					}
-				}
-			}
-		}()
+	if l.inflight.Add(-1) != 0 {
+		return
 	}
-	return ch
+	l.idleMu.Lock()
+	ws := l.idleWaiters
+	l.idleWaiters = nil
+	l.idleMu.Unlock()
+	for _, w := range ws {
+		close(w)
+	}
 }
 
 // Idle reports whether no message or closure is queued or in flight.
@@ -242,25 +230,52 @@ func (l *Live) Idle() bool { return l.inflight.Load() == 0 }
 // because they raced with or followed Stop.
 func (l *Live) DroppedOnStop() uint64 { return l.droppedOnStop.Load() }
 
-// WaitIdle polls until the transport is idle or the timeout elapses;
-// it reports whether idleness was reached. Idle here means "no queued
-// work" — callers must separately track application-level outstanding
-// requests.
+// WaitIdle blocks until the transport is idle or the timeout elapses;
+// it reports whether idleness was reached. Waiters are woken by the
+// idle transition itself (no polling): a handler's own work item stays
+// counted until after it returns, so anything it enqueues is visible
+// before inflight can reach zero.
+//
+// Caveat: "no queued work" is not "no outstanding requests". Work
+// scheduled outside the transport — time.AfterFunc timers armed by
+// allocator Env.After calls, reliability-layer retransmits, a caller
+// about to Send — is invisible here, so the transport can be
+// momentarily idle while the protocol still owes answers. Callers must
+// track application-level completion (e.g. outstanding-request counts)
+// separately and treat WaitIdle as "the fabric has drained", nothing
+// stronger.
 func (l *Live) WaitIdle(timeout time.Duration) bool {
+	if l.Idle() {
+		return true
+	}
 	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	for {
+		w := make(chan struct{})
+		l.idleMu.Lock()
+		l.idleWaiters = append(l.idleWaiters, w)
+		l.idleMu.Unlock()
+		// Re-check after registering: the idle transition may have fired
+		// between the check and the append, leaving no one to wake w (a
+		// stale waiter is closed harmlessly on a later transition).
 		if l.Idle() {
-			// Double-check after a settle pause: a handler may have
-			// been mid-execution about to enqueue more work.
-			time.Sleep(200 * time.Microsecond)
+			return true
+		}
+		d := time.Until(deadline)
+		if d <= 0 {
+			return l.Idle()
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-w:
+			t.Stop()
 			if l.Idle() {
 				return true
 			}
-			continue
+			// Transient idle already over; re-arm and keep waiting.
+		case <-t.C:
+			return l.Idle()
 		}
-		time.Sleep(100 * time.Microsecond)
 	}
-	return l.Idle()
 }
 
 // Stats implements Transport.

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -128,6 +129,156 @@ func TestLiveMisusePanics(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// TestLiveSchedulerGoroutineCount pins the tentpole property of the
+// timer-wheel scheduler: delayed delivery costs O(1) goroutines no
+// matter how many (from, to) pairs exchange traffic. The old design
+// spawned one pipeline goroutine per ordered pair — all-pairs traffic
+// on n stations meant n·(n-1) extra goroutines (4032 for n=64).
+func TestLiveSchedulerGoroutineCount(t *testing.T) {
+	overhead := func(stations int) int {
+		base := runtime.NumGoroutine()
+		l := NewLive(200*time.Microsecond, 256)
+		var got atomic.Int64
+		for c := 0; c < stations; c++ {
+			l.Attach(hexgrid.CellID(c), HandlerFunc(func(message.Message) { got.Add(1) }))
+		}
+		l.Start()
+		defer l.Stop()
+		// Touch every ordered pair so every would-be link exists.
+		for from := 0; from < stations; from++ {
+			for to := 0; to < stations; to++ {
+				if from != to {
+					l.Send(message.Message{Kind: message.Request, From: hexgrid.CellID(from), To: hexgrid.CellID(to)})
+				}
+			}
+		}
+		if !l.WaitIdle(30 * time.Second) {
+			t.Fatalf("%d stations: not idle", stations)
+		}
+		if want := int64(stations * (stations - 1)); got.Load() != want {
+			t.Fatalf("%d stations: delivered %d of %d", stations, got.Load(), want)
+		}
+		return runtime.NumGoroutine() - base - stations
+	}
+	small := overhead(8)
+	large := overhead(64)
+	if large > small+4 {
+		t.Fatalf("scheduler goroutine overhead grew with grid size: %d stations -> +%d, %d stations -> +%d",
+			8, small, 64, large)
+	}
+	if large > 8 {
+		t.Fatalf("delayed delivery is not O(1) goroutines: overhead %d", large)
+	}
+}
+
+// TestLiveFIFOAcrossManyLinks drives interleaved traffic on several
+// links through the shared scheduler and checks each link's messages
+// arrive in send order (the per-link FIFO contract the old per-link
+// pipelines gave for free).
+func TestLiveFIFOAcrossManyLinks(t *testing.T) {
+	const links, perLink = 8, 200
+	l := NewLive(100*time.Microsecond, 4096)
+	var mu sync.Mutex
+	order := make(map[hexgrid.CellID][]int)
+	l.Attach(99, HandlerFunc(func(m message.Message) {
+		mu.Lock()
+		order[m.From] = append(order[m.From], int(m.Ch))
+		mu.Unlock()
+	}))
+	for s := 0; s < links; s++ {
+		l.Attach(hexgrid.CellID(s), HandlerFunc(func(message.Message) {}))
+	}
+	l.Start()
+	defer l.Stop()
+	var wg sync.WaitGroup
+	for s := 0; s < links; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perLink; i++ {
+				l.Do(hexgrid.CellID(s), func() {
+					l.Send(message.Message{Kind: message.Request, From: hexgrid.CellID(s), To: 99, Ch: chanset.Channel(i)})
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if !l.WaitIdle(30 * time.Second) {
+		t.Fatal("not idle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for s := 0; s < links; s++ {
+		seq := order[hexgrid.CellID(s)]
+		if len(seq) != perLink {
+			t.Fatalf("link %d: delivered %d of %d", s, len(seq), perLink)
+		}
+		for i, v := range seq {
+			if v != i {
+				t.Fatalf("link %d reordered at %d: %v", s, i, seq[:i+1])
+			}
+		}
+	}
+}
+
+// TestLiveDelayedSendsOverlap asserts delayed messages pipeline: k
+// back-to-back sends on one link all arrive ~Delay after their send,
+// not k·Delay apart (the old per-link goroutine slept Delay per
+// message, capping each link at 1/Delay msgs/sec).
+func TestLiveDelayedSendsOverlap(t *testing.T) {
+	const delay, k = 20 * time.Millisecond, 20
+	l := NewLive(delay, 256)
+	var got atomic.Int64
+	l.Attach(1, HandlerFunc(func(message.Message) { got.Add(1) }))
+	l.Start()
+	defer l.Stop()
+	t0 := time.Now()
+	for i := 0; i < k; i++ {
+		l.Send(message.Message{Kind: message.Request, From: 0, To: 1, Ch: chanset.Channel(i)})
+	}
+	if !l.WaitIdle(30 * time.Second) {
+		t.Fatal("not idle")
+	}
+	elapsed := time.Since(t0)
+	if got.Load() != k {
+		t.Fatalf("delivered %d of %d", got.Load(), k)
+	}
+	// Serialized delivery would need k*delay = 400ms; pipelined delivery
+	// needs ~delay. Allow generous scheduler slack.
+	if elapsed > k*delay/2 {
+		t.Fatalf("delayed sends serialized: %d messages took %v (delay %v)", k, elapsed, delay)
+	}
+}
+
+// TestLiveWaitIdleWakesWithoutPolling checks the event-driven wake-up:
+// a waiter blocked on a busy transport returns promptly once the last
+// queued handler finishes.
+func TestLiveWaitIdleWakesWithoutPolling(t *testing.T) {
+	l := NewLive(0, 16)
+	release := make(chan struct{})
+	l.Attach(1, HandlerFunc(func(message.Message) { <-release }))
+	l.Start()
+	defer l.Stop()
+	l.Send(message.Message{Kind: message.Request, From: 0, To: 1})
+	idle := make(chan bool, 1)
+	go func() { idle <- l.WaitIdle(10 * time.Second) }()
+	select {
+	case <-idle:
+		t.Fatal("WaitIdle returned while a handler was still running")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case ok := <-idle:
+		if !ok {
+			t.Fatal("WaitIdle timed out")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitIdle never woke after the transport went idle")
 	}
 }
 

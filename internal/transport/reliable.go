@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/hexgrid"
@@ -70,10 +71,12 @@ type Reliable struct {
 	unackedN    int
 	bufferedN   int
 
-	retransmits    uint64
-	dupsSuppressed uint64
-	acksSent       uint64
-	exhausted      uint64
+	// Counters are atomic so Stats snapshots never contend with the
+	// send/receive paths for r.mu.
+	retransmits    atomic.Uint64
+	dupsSuppressed atomic.Uint64
+	acksSent       atomic.Uint64
+	exhausted      atomic.Uint64
 }
 
 // unacked is one sent-but-not-acknowledged message.
@@ -154,7 +157,7 @@ func (r *Reliable) retransmit(key linkKey, seq uint64) {
 	if u.tries > r.cfg.MaxRetries {
 		delete(r.outstanding[key], seq)
 		r.unackedN--
-		r.exhausted++
+		r.exhausted.Add(1)
 		m, cb := u.m, r.OnAbandon
 		r.mu.Unlock()
 		if cb != nil {
@@ -162,7 +165,7 @@ func (r *Reliable) retransmit(key linkKey, seq uint64) {
 		}
 		return
 	}
-	r.retransmits++
+	r.retransmits.Add(1)
 	u.backoff *= 2
 	if u.backoff > r.cfg.BackoffCap {
 		u.backoff = r.cfg.BackoffCap
@@ -201,7 +204,7 @@ func (r *Reliable) receive(h Handler, m message.Message) {
 	}
 	// Always ack, including duplicates — the previous ack may be the
 	// thing that was lost.
-	r.acksSent++
+	r.acksSent.Add(1)
 	st := r.recv[key]
 	if st == nil {
 		st = &rcvState{next: 1, buf: make(map[uint64]message.Message)}
@@ -210,7 +213,7 @@ func (r *Reliable) receive(h Handler, m message.Message) {
 	var deliver []message.Message
 	switch {
 	case m.Seq < st.next:
-		r.dupsSuppressed++
+		r.dupsSuppressed.Add(1)
 	case m.Seq == st.next:
 		st.next++
 		deliver = append(deliver, m)
@@ -226,7 +229,7 @@ func (r *Reliable) receive(h Handler, m message.Message) {
 		}
 	default: // early arrival: hold until the gap fills
 		if _, dup := st.buf[m.Seq]; dup {
-			r.dupsSuppressed++
+			r.dupsSuppressed.Add(1)
 		} else {
 			st.buf[m.Seq] = m
 			r.bufferedN++
@@ -268,11 +271,9 @@ func (r *Reliable) Idle() bool {
 // Stats implements Transport: inner traffic plus this layer's counters.
 func (r *Reliable) Stats() Stats {
 	s := r.inner.Stats()
-	r.mu.Lock()
-	s.Retransmits += r.retransmits
-	s.DupsSuppressed += r.dupsSuppressed
-	s.AcksSent += r.acksSent
-	s.RetryExhausted += r.exhausted
-	r.mu.Unlock()
+	s.Retransmits += r.retransmits.Load()
+	s.DupsSuppressed += r.dupsSuppressed.Load()
+	s.AcksSent += r.acksSent.Load()
+	s.RetryExhausted += r.exhausted.Load()
 	return s
 }
