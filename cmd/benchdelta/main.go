@@ -7,6 +7,12 @@
 // events/sec) and every network metric are noisy on shared CI
 // runners, so those regressions only warn unless -strict is set.
 //
+// The "parallel" section carries hard correctness gates independent of
+// -strict: every run's trajectory hash must match its grid's (worker
+// count must not change the simulation), the hash must not drift from
+// the baseline when workloads are comparable, and speedup at the widest
+// worker count must stay >= 1.0 on multi-core hosts.
+//
 //	benchdelta -baseline BENCH_baseline.json -current BENCH_ci.json
 package main
 
@@ -61,11 +67,72 @@ func main() {
 	check("net ns/message", base.Network.NsPerMessage, cur.Network.NsPerMessage, false)
 	check("net allocs/message", base.Network.AllocsPerMessage, cur.Network.AllocsPerMessage, false)
 	check("net ns/borrow-round", base.Network.NsPerBorrowRound, cur.Network.NsPerBorrowRound, false)
+	if !checkParallel(base, cur) {
+		failed = true
+	}
 	if failed {
 		fmt.Println("benchdelta: REGRESSION detected")
 		os.Exit(1)
 	}
 	fmt.Println("benchdelta: within tolerance")
+}
+
+// checkParallel validates the sharded-kernel section and reports
+// whether it passed. Unlike the timing checks these are correctness
+// gates, not thresholds:
+//
+//   - every run's trajectory hash must equal its grid's hash — the
+//     determinism contract (worker count must not change the
+//     simulation), re-verified from the artifact itself;
+//   - when the baseline has the same grid at the same workload length
+//     (Quick flags match), the hash must be unchanged — the parallel
+//     kernel's trajectory is pinned across commits the same way the
+//     serial kernel's allocation counts are;
+//   - the speedup at the widest worker count must not drop below 1.0 —
+//     hard only when the report was taken on ≥2 cores, since on a
+//     single core "speedup" is pure scheduler noise.
+func checkParallel(base, cur experiments.BenchReport) bool {
+	ok := true
+	fail := func(format string, args ...any) {
+		fmt.Printf("  parallel: FAIL "+format+"\n", args...)
+		ok = false
+	}
+	baseGrids := make(map[string]experiments.ParallelGridBench)
+	for _, g := range base.Parallel.Grids {
+		baseGrids[g.Grid] = g
+	}
+	for _, g := range cur.Parallel.Grids {
+		for _, r := range g.Runs {
+			if r.Hash != g.Hash {
+				fail("%s workers=%d trajectory hash %.12s != grid hash %.12s (determinism broken)",
+					g.Grid, r.Workers, r.Hash, g.Hash)
+			}
+		}
+		if bg, found := baseGrids[g.Grid]; found && base.Quick == cur.Quick {
+			if bg.Hash != g.Hash {
+				fail("%s trajectory hash drifted %.12s -> %.12s (simulation outcome changed)",
+					g.Grid, bg.Hash, g.Hash)
+			}
+		}
+		if n := len(g.Runs); n > 0 {
+			last := g.Runs[n-1]
+			status := "ok"
+			if last.Speedup < 1.0 && last.Workers > 1 {
+				if cur.GOMAXPROCS >= 2 {
+					status = "FAIL"
+					ok = false
+				} else {
+					status = "warn (1 core)"
+				}
+			}
+			fmt.Printf("  %-22s %10.4g -> %10.4g  (speedup %.2fx @ %d workers)  %s\n",
+				"par "+g.Grid+" ev/s", g.Runs[0].EventsPerSec, last.EventsPerSec, last.Speedup, last.Workers, status)
+		}
+	}
+	if len(cur.Parallel.Grids) == 0 && len(base.Parallel.Grids) > 0 {
+		fail("section missing from current report but present in baseline")
+	}
+	return ok
 }
 
 func load(path string) experiments.BenchReport {

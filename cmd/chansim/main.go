@@ -15,10 +15,11 @@
 //
 // Performance: -bench runs the measurement harness instead of a
 // scenario and emits a BENCH_*.json document (per-event kernel cost,
-// sweep wall-clock, and live-network message path over loopback TCP;
-// see DESIGN.md §9). -bench-quick shrinks the
-// workload for CI smoke; -bench-out writes the JSON to a file;
-// -workers bounds the sweep pool.
+// sweep wall-clock, the live-network message path over loopback TCP,
+// and the sharded parallel kernel's scaling on 50x50 and 100x100 grids
+// with per-run trajectory hashes; see DESIGN.md §9 and §9.5).
+// -bench-quick shrinks the workload for CI smoke; -bench-out writes
+// the JSON to a file; -workers bounds the sweep pool.
 package main
 
 import (

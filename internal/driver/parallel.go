@@ -1,0 +1,554 @@
+package driver
+
+// Parallel is the sharded counterpart of Sim: the same wiring (grid,
+// primary plan, one allocator per cell, interference checker, latency
+// accounting) on top of the conservative parallel kernel sim.Shards
+// instead of the serial sim.Engine. Cells are partitioned into
+// contiguous tiles (hexgrid.Partition); each shard owns the driver
+// state of its cells, and the only cross-shard interaction is message
+// delivery, which the kernel's lookahead windows make safe.
+//
+// Determinism: a run's trajectory — every per-cell stat, the trace, and
+// the final channel sets — is a function of (scenario, seed, shard
+// count) only. The worker count changes wall-clock, never results; the
+// shard count is part of the scenario (fixed defaults keep it machine-
+// independent). See DESIGN.md §9.5 for the argument.
+//
+// Divergences from the serial Sim, all deliberate:
+//   - Request IDs are derived per cell (id = count*N + cell + 1) instead
+//     of a global counter, so issuing them needs no cross-shard
+//     coordination. IDs are correlation tokens only — the protocol
+//     never puts them in messages — so trajectories are unaffected.
+//   - Theorem-1 checking runs at every window barrier (a consistent
+//     cut) rather than per grant: reading a remote cell's channel set
+//     mid-window would race its shard.
+//   - No Journal option: JSONL emission order across shards is
+//     scheduling-dependent, which would silently break the byte-
+//     identical-artifacts contract. Use the serial driver for journals.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/chanset"
+	"repro/internal/hexgrid"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// ParallelOptions configure a sharded simulation. The embedded fields
+// mirror Options; Shards and Workers control the kernel.
+type ParallelOptions struct {
+	// Latency is the one-way message delay T in ticks (default 10). It
+	// is also the kernel's lookahead window width.
+	Latency sim.Time
+	// Jitter adds a uniform extra delay in [0, Jitter] per message,
+	// drawn from a per-sender-cell substream (the serial driver uses one
+	// global jitter stream, so jittered serial and sharded runs are
+	// distinct scenarios; unjittered runs need no stream at all).
+	Jitter sim.Time
+	// Seed drives all randomness (per-cell substreams are derived with
+	// the same labels as the serial driver).
+	Seed uint64
+	// Check verifies Theorem 1 over the whole grid at every window
+	// barrier. Panics on violation.
+	Check bool
+	// TraceSize, if positive, keeps a per-shard ring of the most recent
+	// lifecycle events; Trace() merges them in canonical order.
+	TraceSize int
+	// Wire routes every message through the binary codec.
+	Wire bool
+	// DelayBuckets sizes the acquisition-delay histogram (default 64).
+	DelayBuckets int
+	// Obs binds the driver-level instruments (all atomic, so shard
+	// workers may increment them concurrently).
+	Obs *obs.Registry
+	// Shards is the number of tiles (default min(16, cells)). It is part
+	// of the scenario: different shard counts are different (each
+	// internally deterministic) trajectories only through the per-cell
+	// request-id derivation — per-cell results are shard-count-invariant.
+	Shards int
+	// Workers is the number of goroutines advancing shards (default
+	// NumCPU, capped at Shards). Never affects results.
+	Workers int
+}
+
+func (o *ParallelOptions) applyDefaults(cells int) {
+	if o.Latency == 0 {
+		o.Latency = 10
+	}
+	if o.DelayBuckets == 0 {
+		o.DelayBuckets = 64
+	}
+	if o.Shards == 0 {
+		o.Shards = 16
+		if cells < o.Shards {
+			o.Shards = cells
+		}
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.Workers > o.Shards {
+		o.Workers = o.Shards
+	}
+}
+
+// parShard is one shard's private driver state. Only the shard's worker
+// (or the coordinator between windows) touches it.
+type parShard struct {
+	pending map[alloc.RequestID]*pendingReq
+	reqFree []*pendingReq
+	moved   map[hexgrid.CellID]map[chanset.Channel][]chanset.Channel
+	dog     trace.Watchdog
+	ring    *trace.Ring
+	msgs    transport.Stats
+	// delayHist accumulates this shard's acquisition delays; Stats()
+	// merges the buckets (integer counts, order-insensitive).
+	delayHist *metrics.Histogram
+	grants    uint64
+	denies    uint64
+	lastAt    map[parLink]sim.Time // per-link FIFO clamp under jitter
+	wireBuf   []byte
+	_         [64]byte
+}
+
+type parLink struct {
+	from, to hexgrid.CellID
+}
+
+// Parallel is one wired sharded scenario.
+type Parallel struct {
+	grid    *hexgrid.Grid
+	assign  *chanset.Assignment
+	kernel  *sim.Shards
+	part    *hexgrid.Partition
+	allocs  []alloc.Allocator
+	opts    ParallelOptions
+	checker *trace.InterferenceChecker
+	shards  []parShard
+
+	// Per-cell state, written only by the owning shard's worker.
+	reqCount   []uint64
+	acqDelay   []metrics.Welford
+	totalDelay []metrics.Welford
+	queueDelay []metrics.Welford
+	cellGrants []uint64
+	cellDenies []uint64
+
+	obs simObs
+}
+
+// NewParallel wires a sharded simulation. The factory builds one
+// allocator per cell, exactly as driver.New does.
+func NewParallel(grid *hexgrid.Grid, assign *chanset.Assignment, factory alloc.Factory, opts ParallelOptions) (*Parallel, error) {
+	cells := grid.NumCells()
+	opts.applyDefaults(cells)
+	if opts.Latency < 1 {
+		return nil, fmt.Errorf("driver: parallel kernel needs latency >= 1, got %d", opts.Latency)
+	}
+	part, err := grid.Partition(opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parallel{
+		grid:       grid,
+		assign:     assign,
+		kernel:     sim.NewShards(opts.Shards, opts.Latency, cells),
+		part:       part,
+		opts:       opts,
+		shards:     make([]parShard, opts.Shards),
+		reqCount:   make([]uint64, cells),
+		acqDelay:   make([]metrics.Welford, cells),
+		totalDelay: make([]metrics.Welford, cells),
+		queueDelay: make([]metrics.Welford, cells),
+		cellGrants: make([]uint64, cells),
+		cellDenies: make([]uint64, cells),
+	}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.pending = make(map[alloc.RequestID]*pendingReq)
+		sh.delayHist = metrics.NewHistogram(float64(opts.Latency)/2, opts.DelayBuckets)
+		if opts.TraceSize > 0 {
+			sh.ring = trace.NewRing(opts.TraceSize)
+		}
+		if opts.Jitter > 0 {
+			sh.lastAt = make(map[parLink]sim.Time)
+		}
+	}
+	p.obs.bind(opts.Obs, nil, opts.Latency)
+	p.allocs = make([]alloc.Allocator, cells)
+	for i := range p.allocs {
+		cell := hexgrid.CellID(i)
+		a := factory.New(cell)
+		p.allocs[i] = a
+		env := &pcellEnv{
+			p:     p,
+			shard: part.ShardOf(cell),
+			cell:  cell,
+			rand:  sim.Substream(opts.Seed, uint64(i)+1),
+		}
+		if opts.Jitter > 0 {
+			env.jitter = sim.Substream(opts.Seed, 0x6a170000+uint64(i))
+		}
+		a.Start(env)
+	}
+	p.checker = trace.NewInterferenceChecker(grid, func(id hexgrid.CellID) chanset.Set {
+		return p.allocs[id].InUse()
+	})
+	if opts.Check {
+		p.kernel.SetBarrier(func() {
+			if err := p.checker.CheckAll(); err != nil {
+				panic(err)
+			}
+		})
+	}
+	return p, nil
+}
+
+// Kernel exposes the sharded event kernel.
+func (p *Parallel) Kernel() *sim.Shards { return p.kernel }
+
+// Grid returns the scenario grid.
+func (p *Parallel) Grid() *hexgrid.Grid { return p.grid }
+
+// Assignment returns the primary-channel plan.
+func (p *Parallel) Assignment() *chanset.Assignment { return p.assign }
+
+// Partition returns the shard partition.
+func (p *Parallel) Partition() *hexgrid.Partition { return p.part }
+
+// Latency returns the one-way latency T.
+func (p *Parallel) Latency() sim.Time { return p.opts.Latency }
+
+// NumShards returns the shard count.
+func (p *Parallel) NumShards() int { return p.opts.Shards }
+
+// Workers returns the configured worker count.
+func (p *Parallel) Workers() int { return p.opts.Workers }
+
+// Allocator returns the allocator of the given cell (for inspection;
+// only safe while the kernel is parked).
+func (p *Parallel) Allocator(cell hexgrid.CellID) alloc.Allocator { return p.allocs[cell] }
+
+// Now returns cell's shard-local virtual time.
+func (p *Parallel) Now(cell hexgrid.CellID) sim.Time {
+	return p.kernel.Now(p.part.ShardOf(cell))
+}
+
+// At schedules fn at absolute time at in cell's shard, with the cell as
+// the event's origin. Callable before Run or from an event already
+// executing in that shard (workload generators are built this way).
+func (p *Parallel) At(cell hexgrid.CellID, at sim.Time, fn func()) {
+	p.kernel.At(p.part.ShardOf(cell), at, int32(cell), fn)
+}
+
+// After schedules fn delay ticks from cell's shard-local now.
+func (p *Parallel) After(cell hexgrid.CellID, delay sim.Time, fn func()) {
+	p.kernel.After(p.part.ShardOf(cell), delay, int32(cell), fn)
+}
+
+// ReserveShard pre-sizes shard s's event heap (Erlang estimate from the
+// workload, mirroring Engine.Reserve).
+func (p *Parallel) ReserveShard(s, n int) { p.kernel.Reserve(s, n) }
+
+// ReserveOutbox pre-sizes the src->dst mailbox.
+func (p *Parallel) ReserveOutbox(src, dst, n int) { p.kernel.ReserveOutbox(src, dst, n) }
+
+// Request submits a channel request at cell; cb (optional) runs on
+// completion, on the cell's shard. Must be called before Run/Drain or
+// from an event executing in the cell's own shard. IDs are unique
+// across cells but per-cell derived, not globally sequential.
+func (p *Parallel) Request(cell hexgrid.CellID, cb func(Result)) alloc.RequestID {
+	si := p.part.ShardOf(cell)
+	sh := &p.shards[si]
+	id := alloc.RequestID(int64(p.reqCount[cell])*int64(p.grid.NumCells()) + int64(cell) + 1)
+	p.reqCount[cell]++
+	now := p.kernel.Now(si)
+	sh.pending[id] = sh.newPending(cell, now, cb)
+	sh.dog.Submitted(now)
+	p.obs.outstanding.Add(1)
+	sh.traceEvent(trace.Event{At: now, Kind: trace.EvRequest, Cell: cell, Ch: chanset.NoChannel, Info: int64(id)})
+	p.allocs[cell].Request(id)
+	return id
+}
+
+// Release returns channel ch at cell to the pool, with the same
+// moved-channel forwarding as the serial driver. Same shard-context
+// rule as Request.
+func (p *Parallel) Release(cell hexgrid.CellID, ch chanset.Channel) {
+	si := p.part.ShardOf(cell)
+	sh := &p.shards[si]
+	if m := sh.moved[cell]; m != nil && !p.allocs[cell].InUse().Contains(ch) {
+		if q := m[ch]; len(q) > 0 {
+			target := q[0]
+			if len(q) == 1 {
+				delete(m, ch)
+			} else {
+				m[ch] = q[1:]
+			}
+			ch = target
+		}
+	}
+	sh.traceEvent(trace.Event{At: p.kernel.Now(si), Kind: trace.EvRelease, Cell: cell, Ch: ch})
+	if err := p.allocs[cell].Release(ch); err != nil {
+		panic(err)
+	}
+}
+
+// Run advances all shards in lockstep windows to until.
+func (p *Parallel) Run(until sim.Time) { p.kernel.Run(p.opts.Workers, until) }
+
+// Drain runs to quiescence with a backstop; it reports whether every
+// queue emptied.
+func (p *Parallel) Drain(maxEvents uint64) bool {
+	return p.kernel.Drain(p.opts.Workers, maxEvents)
+}
+
+// CheckInvariant verifies Theorem 1 across the whole grid now. Only
+// safe while the kernel is parked.
+func (p *Parallel) CheckInvariant() error { return p.checker.CheckAll() }
+
+// Outstanding returns the number of in-flight requests.
+func (p *Parallel) Outstanding() int {
+	n := 0
+	for i := range p.shards {
+		n += p.shards[i].dog.Outstanding()
+	}
+	return n
+}
+
+// Stalled reports whether any shard has requests outstanding for more
+// than window ticks without progress.
+func (p *Parallel) Stalled(window sim.Time) bool {
+	for i := range p.shards {
+		if p.shards[i].dog.Stalled(p.kernel.Now(i), window) {
+			return true
+		}
+	}
+	return false
+}
+
+// Trace returns the retained lifecycle events merged across shards in
+// canonical (At, Cell) order. A cell's events live in exactly one
+// shard's ring, so the stable sort preserves each cell's own order and
+// the result is independent of shard and worker count (given a
+// TraceSize large enough that no ring evicted).
+func (p *Parallel) Trace() []trace.Event {
+	var out []trace.Event
+	for i := range p.shards {
+		if p.shards[i].ring != nil {
+			out = append(out, p.shards[i].ring.Events()...)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Cell < out[j].Cell
+	})
+	return out
+}
+
+// Stats snapshots the aggregates, merging shard- and cell-local state
+// in canonical order (ascending shard, ascending cell) so the result is
+// bit-identical regardless of how the run was scheduled.
+func (p *Parallel) Stats() Stats {
+	st := Stats{
+		CellGrants: append([]uint64(nil), p.cellGrants...),
+		CellDenies: append([]uint64(nil), p.cellDenies...),
+	}
+	merged := metrics.NewHistogram(float64(p.opts.Latency)/2, p.opts.DelayBuckets)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		st.Grants += sh.grants
+		st.Denies += sh.denies
+		st.Messages.Add(sh.msgs)
+		merged.Merge(sh.delayHist)
+	}
+	st.DelayP95 = merged.Quantile(0.95)
+	for c := range p.acqDelay {
+		st.AcqDelay.Merge(p.acqDelay[c])
+		st.TotalDelay.Merge(p.totalDelay[c])
+		st.QueueDelay.Merge(p.queueDelay[c])
+	}
+	for _, a := range p.allocs {
+		if cp, ok := a.(alloc.CounterProvider); ok {
+			st.Counters.Add(cp.ProtocolCounters())
+		}
+	}
+	return st
+}
+
+// ModeOccupancy returns the fraction of cells in each mode. Only safe
+// while the kernel is parked.
+func (p *Parallel) ModeOccupancy() [4]float64 {
+	var counts [4]int
+	for _, a := range p.allocs {
+		m := a.Mode()
+		if m >= 0 && m < 4 {
+			counts[m]++
+		}
+	}
+	var out [4]float64
+	n := float64(len(p.allocs))
+	for i, c := range counts {
+		out[i] = float64(c) / n
+	}
+	return out
+}
+
+func (sh *parShard) newPending(cell hexgrid.CellID, now sim.Time, cb func(Result)) *pendingReq {
+	if n := len(sh.reqFree); n > 0 {
+		q := sh.reqFree[n-1]
+		sh.reqFree = sh.reqFree[:n-1]
+		*q = pendingReq{cell: cell, submitted: now, began: now, cb: cb}
+		return q
+	}
+	return &pendingReq{cell: cell, submitted: now, began: now, cb: cb}
+}
+
+func (sh *parShard) recycle(q *pendingReq) {
+	q.cb = nil
+	sh.reqFree = append(sh.reqFree, q)
+}
+
+func (sh *parShard) traceEvent(e trace.Event) {
+	if sh.ring != nil {
+		sh.ring.Add(e)
+	}
+}
+
+// pcellEnv implements alloc.Env for one cell on the sharded kernel.
+type pcellEnv struct {
+	p      *Parallel
+	shard  int
+	cell   hexgrid.CellID
+	rand   *sim.Rand
+	jitter *sim.Rand
+}
+
+func (e *pcellEnv) ID() hexgrid.CellID          { return e.cell }
+func (e *pcellEnv) Neighbors() []hexgrid.CellID { return e.p.grid.Interference(e.cell) }
+func (e *pcellEnv) Now() sim.Time               { return e.p.kernel.Now(e.shard) }
+func (e *pcellEnv) Latency() sim.Time           { return e.p.opts.Latency }
+func (e *pcellEnv) Rand() *sim.Rand             { return e.rand }
+
+// Send delivers m after the latency (plus jitter). Deliveries carry the
+// *sender* as the event origin: the canonical key is then assigned
+// entirely within the sending shard, which is what makes cross-shard
+// ordering deterministic.
+func (e *pcellEnv) Send(m message.Message) {
+	if m.From != e.cell {
+		m.From = e.cell
+	}
+	p := e.p
+	sh := &p.shards[e.shard]
+	p.obs.messages.Inc()
+	sh.msgs.Count(m)
+	if p.opts.Wire {
+		sh.wireBuf = message.Encode(sh.wireBuf[:0], m)
+		sh.msgs.Bytes += uint64(len(sh.wireBuf))
+		decoded, n, err := message.Decode(sh.wireBuf)
+		if err != nil || n != len(sh.wireBuf) {
+			panic(fmt.Sprintf("driver: codec round trip failed for %v: %v", m, err))
+		}
+		m = decoded
+	}
+	at := p.kernel.Now(e.shard) + p.opts.Latency
+	if p.opts.Jitter > 0 {
+		at += sim.Time(e.jitter.Intn(int(p.opts.Jitter) + 1))
+		key := parLink{m.From, m.To}
+		if last := sh.lastAt[key]; at < last {
+			at = last
+		}
+		sh.lastAt[key] = at
+	}
+	dst := p.part.ShardOf(m.To)
+	h := p.allocs[m.To]
+	msg := m
+	p.kernel.Cross(e.shard, dst, at, int32(e.cell), func() { h.Handle(msg) })
+}
+
+func (e *pcellEnv) After(d sim.Time, fn func()) {
+	e.p.kernel.After(e.shard, d, int32(e.cell), fn)
+}
+
+func (e *pcellEnv) Began(id alloc.RequestID) {
+	sh := &e.p.shards[e.shard]
+	if q, ok := sh.pending[id]; ok {
+		q.began = e.p.kernel.Now(e.shard)
+	}
+}
+
+func (e *pcellEnv) Moved(from, to chanset.Channel) {
+	sh := &e.p.shards[e.shard]
+	if sh.moved == nil {
+		sh.moved = make(map[hexgrid.CellID]map[chanset.Channel][]chanset.Channel)
+	}
+	m := sh.moved[e.cell]
+	if m == nil {
+		m = make(map[chanset.Channel][]chanset.Channel)
+		sh.moved[e.cell] = m
+	}
+	m[from] = append(m[from], to)
+}
+
+func (e *pcellEnv) Granted(id alloc.RequestID, ch chanset.Channel) {
+	p := e.p
+	sh := &p.shards[e.shard]
+	q, ok := sh.pending[id]
+	if !ok {
+		panic(fmt.Sprintf("driver: grant for unknown request %d at cell %d", id, e.cell))
+	}
+	delete(sh.pending, id)
+	now := p.kernel.Now(e.shard)
+	sh.dog.Completed(now)
+	sh.grants++
+	p.cellGrants[e.cell]++
+	p.acqDelay[e.cell].Observe(float64(now - q.began))
+	p.totalDelay[e.cell].Observe(float64(now - q.submitted))
+	p.queueDelay[e.cell].Observe(float64(q.began - q.submitted))
+	sh.delayHist.Observe(float64(now - q.began))
+	p.obs.granted.Inc()
+	p.obs.outstanding.Add(-1)
+	p.obs.acquire.Observe(float64(now - q.began))
+	sh.traceEvent(trace.Event{At: now, Kind: trace.EvGrant, Cell: e.cell, Ch: ch, Info: int64(id)})
+	if q.cb != nil {
+		q.cb(Result{
+			ID: id, Cell: e.cell, Granted: true, Ch: ch,
+			Submitted: q.submitted, Began: q.began, Done: now,
+		})
+	}
+	sh.recycle(q)
+}
+
+func (e *pcellEnv) Denied(id alloc.RequestID) {
+	p := e.p
+	sh := &p.shards[e.shard]
+	q, ok := sh.pending[id]
+	if !ok {
+		panic(fmt.Sprintf("driver: denial for unknown request %d at cell %d", id, e.cell))
+	}
+	delete(sh.pending, id)
+	now := p.kernel.Now(e.shard)
+	sh.dog.Completed(now)
+	sh.denies++
+	p.cellDenies[e.cell]++
+	p.obs.denied.Inc()
+	p.obs.outstanding.Add(-1)
+	sh.traceEvent(trace.Event{At: now, Kind: trace.EvDeny, Cell: e.cell, Ch: chanset.NoChannel, Info: int64(id)})
+	if q.cb != nil {
+		q.cb(Result{
+			ID: id, Cell: e.cell, Granted: false, Ch: chanset.NoChannel,
+			Submitted: q.submitted, Began: q.began, Done: now,
+		})
+	}
+	sh.recycle(q)
+}

@@ -2,9 +2,10 @@ package experiments
 
 // Performance measurement harness behind `chansim -bench`. It measures
 // the two quantities PR 3 optimised — per-event kernel cost and sweep
-// wall-clock — and emits them as JSON (BENCH_*.json). cmd/benchdelta
-// compares two such files and flags regressions; DESIGN.md §9 explains
-// how to read the output.
+// wall-clock — plus the live-network message path (netbench.go) and the
+// sharded parallel kernel's large-grid scaling (parbench.go), and emits
+// them as JSON (BENCH_*.json). cmd/benchdelta compares two such files
+// and flags regressions; DESIGN.md §9 explains how to read the output.
 
 import (
 	"encoding/json"
@@ -52,11 +53,12 @@ type SweepBench struct {
 // BenchReport is the JSON document `chansim -bench` emits.
 type BenchReport struct {
 	// GOMAXPROCS records the core budget the numbers were taken under.
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Quick      bool         `json:"quick"`
-	Kernel     KernelBench  `json:"kernel"`
-	Sweep      SweepBench   `json:"sweep"`
-	Network    NetworkBench `json:"network"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Quick      bool          `json:"quick"`
+	Kernel     KernelBench   `json:"kernel"`
+	Sweep      SweepBench    `json:"sweep"`
+	Network    NetworkBench  `json:"network"`
+	Parallel   ParallelBench `json:"parallel"`
 }
 
 // benchEnv is the scenario the harness measures. Quick mode shortens
@@ -164,12 +166,17 @@ func RunBench(workers int, quick bool) (BenchReport, error) {
 	if err != nil {
 		return BenchReport{}, err
 	}
+	parallel, err := RunParallelBench(quick)
+	if err != nil {
+		return BenchReport{}, err
+	}
 	return BenchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      quick,
 		Kernel:     kernel,
 		Sweep:      sweep,
 		Network:    network,
+		Parallel:   parallel,
 	}, nil
 }
 

@@ -1,0 +1,122 @@
+package hexgrid
+
+import "testing"
+
+func checkPartition(t *testing.T, g *Grid, n int) *Partition {
+	t.Helper()
+	p, err := g.Partition(n)
+	if err != nil {
+		t.Fatalf("Partition(%d): %v", n, err)
+	}
+	if p.NumShards() != n {
+		t.Fatalf("NumShards = %d, want %d", p.NumShards(), n)
+	}
+	cells := g.NumCells()
+	covered := 0
+	base := cells / n
+	for i := 0; i < n; i++ {
+		tile := p.Tile(i)
+		if tile.Cells() < base || tile.Cells() > base+1 {
+			t.Errorf("tile %d has %d cells, want %d or %d", i, tile.Cells(), base, base+1)
+		}
+		if i > 0 && tile.Lo != p.Tile(i-1).Hi {
+			t.Errorf("tile %d not contiguous with its predecessor", i)
+		}
+		for c := tile.Lo; c < tile.Hi; c++ {
+			if p.ShardOf(c) != i {
+				t.Fatalf("ShardOf(%d) = %d, want %d", c, p.ShardOf(c), i)
+			}
+			covered++
+		}
+		// A cell is in the halo iff some interference neighbor is abroad.
+		h := 0
+		for c := tile.Lo; c < tile.Hi; c++ {
+			abroad := false
+			for _, nb := range g.Interference(c) {
+				if p.ShardOf(nb) != i {
+					abroad = true
+					break
+				}
+			}
+			inHalo := false
+			for _, hc := range tile.Halo {
+				if hc == c {
+					inHalo = true
+					break
+				}
+			}
+			if abroad != inHalo {
+				t.Errorf("tile %d cell %d: abroad=%v but halo membership %v", i, c, abroad, inHalo)
+			}
+			if inHalo {
+				h++
+			}
+		}
+		if h != len(tile.Halo) {
+			t.Errorf("tile %d halo double-counts: %d listed, %d distinct", i, len(tile.Halo), h)
+		}
+	}
+	if covered != cells {
+		t.Fatalf("tiles cover %d cells, want %d", covered, cells)
+	}
+	return p
+}
+
+func TestPartitionRect(t *testing.T) {
+	g := MustNew(Config{Shape: Rect, Width: 10, Height: 8, ReuseDistance: 2})
+	for _, n := range []int{1, 3, 7, 16, 80} {
+		p := checkPartition(t, g, n)
+		if n == 1 && p.HaloCells() != 0 {
+			t.Errorf("single-shard partition has %d halo cells, want 0", p.HaloCells())
+		}
+		if n == 80 {
+			// Every cell interferes with something abroad when alone.
+			if p.HaloCells() != 80 {
+				t.Errorf("per-cell partition has %d halo cells, want 80", p.HaloCells())
+			}
+		}
+	}
+}
+
+func TestPartitionHexagon(t *testing.T) {
+	g := MustNew(Config{Shape: Hexagon, Radius: 4, ReuseDistance: 2})
+	for _, n := range []int{1, 2, 5, g.NumCells()} {
+		checkPartition(t, g, n)
+	}
+}
+
+func TestPartitionWrapped(t *testing.T) {
+	g := MustNew(Config{Shape: Rect, Width: 9, Height: 9, ReuseDistance: 2, Wrap: true})
+	p := checkPartition(t, g, 4)
+	// On a torus the first and last tiles wrap into each other, so both
+	// ends must contribute halo cells.
+	if len(p.Tile(0).Halo) == 0 || len(p.Tile(3).Halo) == 0 {
+		t.Errorf("wrapped partition missing halo at the seam: %d / %d",
+			len(p.Tile(0).Halo), len(p.Tile(3).Halo))
+	}
+}
+
+func TestPartitionInvalid(t *testing.T) {
+	g := MustNew(Config{Shape: Rect, Width: 4, Height: 4, ReuseDistance: 1})
+	for _, n := range []int{0, -1, 17} {
+		if _, err := g.Partition(n); err == nil {
+			t.Errorf("Partition(%d) of a 16-cell grid: want error", n)
+		}
+	}
+}
+
+func TestPartitionHaloBoundsInterior(t *testing.T) {
+	// With row-major tiles of >= 2*D rows, only cells within D rows of a
+	// tile boundary can be halo; interior rows must not be.
+	g := MustNew(Config{Shape: Rect, Width: 10, Height: 20, ReuseDistance: 2, Wrap: true})
+	p, err := g.Partition(2) // tiles of 10 rows each
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		tile := p.Tile(i)
+		if got, want := len(tile.Halo), 4*10; got != want {
+			t.Errorf("tile %d: %d halo cells, want %d (2 boundary rows per seam, 2 seams on the torus)", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+package sim
+
+// Conservative parallel DES kernel. The grid is sharded into contiguous
+// tiles (hexgrid.Partition); each shard owns a private 4-ary event heap
+// and advances in lockstep windows of width equal to the lookahead (the
+// one-way message latency T). Within a window [W, W+T) shards execute
+// independently: an event at time t can only affect another shard via a
+// message delivered at >= t+T >= W+T, i.e. in a later window. Cross-shard
+// sends land in per-(src,dst) mailboxes that are merged into the
+// destination heaps at the window barrier.
+//
+// Determinism contract: events are totally ordered by the canonical key
+// (at, origin, counter) where origin is the cell whose handler scheduled
+// the event (for message deliveries, the *sender*) and counter is a
+// per-origin monotone count assigned at scheduling time. All of a cell's
+// events execute in the cell's owning shard, every event is present in
+// that heap before its due time (cross-shard events are merged at the
+// barrier preceding their window), and the key is computed shard-locally
+// — so per-cell trajectories are byte-identical at any shard count and
+// any worker count. The mailbox merge order (ascending source shard)
+// does not affect execution order because the heap re-orders by key;
+// it is fixed anyway so heap layouts, and therefore any tie-breaking
+// bug, would reproduce exactly.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// pevent is one scheduled callback in the sharded kernel. Unlike the
+// serial Engine's global insertion seq, the (org, cnt) pair is assigned
+// by the origin cell's own shard, keeping key assignment race-free.
+type pevent struct {
+	at  Time
+	org int32  // origin cell id: the cell whose handler scheduled this
+	cnt uint64 // per-origin monotone counter; with org, breaks at-ties
+	fn  func()
+}
+
+// pshard is one shard's private state: clock, heap, and outboxes.
+type pshard struct {
+	now      Time
+	executed uint64
+	events   []pevent
+	// outbox[d] buffers cross-shard events destined for shard d until
+	// the next window barrier. Only this shard's worker appends; only
+	// the coordinator (between windows) drains.
+	outbox [][]pevent
+	// pad avoids false sharing between adjacent shards' hot fields
+	// when workers advance them concurrently.
+	_ [64]byte
+}
+
+// Shards is the sharded kernel. The zero value is not usable; call
+// NewShards. Scheduling methods (At, Cross, After) must be called either
+// before Run/Drain or from an event callback executing on the owning
+// shard — they are not safe to call concurrently for the same origin.
+type Shards struct {
+	lookahead Time
+	shards    []pshard
+	// cnt[org] is the per-origin event counter. A cell's events are
+	// scheduled only by its owning shard's worker (or pre-run), so
+	// slots are never written concurrently.
+	cnt     []uint64
+	barrier func()
+	windows uint64
+}
+
+// NewShards builds a kernel with n shards, a lookahead window of T
+// ticks (the minimum cross-shard scheduling delay), and numOrigins
+// distinct origin ids (one per cell).
+func NewShards(n int, lookahead Time, numOrigins int) *Shards {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: NewShards with %d shards", n))
+	}
+	if lookahead < 1 {
+		panic(fmt.Sprintf("sim: NewShards with lookahead %d < 1", lookahead))
+	}
+	if numOrigins < 1 {
+		panic(fmt.Sprintf("sim: NewShards with %d origins", numOrigins))
+	}
+	k := &Shards{
+		lookahead: lookahead,
+		shards:    make([]pshard, n),
+		cnt:       make([]uint64, numOrigins),
+	}
+	for i := range k.shards {
+		k.shards[i].outbox = make([][]pevent, n)
+	}
+	return k
+}
+
+// NumShards returns the shard count.
+func (k *Shards) NumShards() int { return len(k.shards) }
+
+// Lookahead returns the window width T.
+func (k *Shards) Lookahead() Time { return k.lookahead }
+
+// Now returns shard s's current virtual time. Within a window different
+// shards' clocks may differ by up to T-1 ticks; at every barrier all
+// clocks are inside the same window.
+func (k *Shards) Now(s int) Time { return k.shards[s].now }
+
+// Executed returns the total number of events executed across shards.
+func (k *Shards) Executed() uint64 {
+	var n uint64
+	for i := range k.shards {
+		n += k.shards[i].executed
+	}
+	return n
+}
+
+// Windows returns the number of lockstep windows advanced so far.
+func (k *Shards) Windows() uint64 { return k.windows }
+
+// Pending returns the total number of queued events, including
+// unflushed mailbox entries.
+func (k *Shards) Pending() int {
+	n := 0
+	for i := range k.shards {
+		n += len(k.shards[i].events)
+		for _, box := range k.shards[i].outbox {
+			n += len(box)
+		}
+	}
+	return n
+}
+
+// Reserve grows shard s's heap capacity to hold at least n events
+// without reallocating, mirroring Engine.Reserve for the serial kernel.
+func (k *Shards) Reserve(s, n int) {
+	sh := &k.shards[s]
+	if n <= cap(sh.events) {
+		return
+	}
+	grown := make([]pevent, len(sh.events), n)
+	copy(grown, sh.events)
+	sh.events = grown
+}
+
+// ReserveOutbox pre-sizes the src->dst mailbox so halo traffic does not
+// grow-copy mid-window.
+func (k *Shards) ReserveOutbox(src, dst, n int) {
+	box := k.shards[src].outbox[dst]
+	if n <= cap(box) {
+		return
+	}
+	grown := make([]pevent, len(box), n)
+	copy(grown, box)
+	k.shards[src].outbox[dst] = grown
+}
+
+// SetBarrier installs fn to run on the coordinator goroutine at every
+// window barrier, after all shards have finished the window and before
+// mailboxes are merged. All shard state is quiescent during the call —
+// drivers use it for consistent-cut invariant checks.
+func (k *Shards) SetBarrier(fn func()) { k.barrier = fn }
+
+// At schedules fn at absolute time at on shard s with the given origin
+// cell. Scheduling in the past panics, as in the serial Engine.
+func (k *Shards) At(s int, at Time, origin int32, fn func()) {
+	sh := &k.shards[s]
+	if at < sh.now {
+		panic(fmt.Sprintf("sim: shard %d scheduling event at %d before now %d (origin cell %d)", s, at, sh.now, origin))
+	}
+	k.cnt[origin]++
+	sh.push(pevent{at: at, org: origin, cnt: k.cnt[origin], fn: fn})
+}
+
+// After schedules fn delay ticks from shard s's current time.
+func (k *Shards) After(s int, delay Time, origin int32, fn func()) {
+	k.At(s, k.shards[s].now+delay, origin, fn)
+}
+
+// Cross schedules fn at absolute time at on shard dst, called from an
+// event executing on shard src. The event must respect the lookahead:
+// at >= src.now + T. Violations panic — they would let a shard see an
+// event scheduled inside its current window, breaking the conservative
+// synchronization argument.
+func (k *Shards) Cross(src, dst int, at Time, origin int32, fn func()) {
+	if src == dst {
+		k.At(src, at, origin, fn)
+		return
+	}
+	sh := &k.shards[src]
+	if at < sh.now+k.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard event %d->%d at %d violates lookahead (now %d + T %d)", src, dst, at, sh.now, k.lookahead))
+	}
+	k.cnt[origin]++
+	sh.outbox[dst] = append(sh.outbox[dst], pevent{at: at, org: origin, cnt: k.cnt[origin], fn: fn})
+}
+
+// less orders shard events by the canonical (at, origin, counter) key.
+func (s *pshard) less(i, j int) bool {
+	a, b := &s.events[i], &s.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.org != b.org {
+		return a.org < b.org
+	}
+	return a.cnt < b.cnt
+}
+
+// push appends ev and restores the heap by sifting it up.
+func (s *pshard) push(ev pevent) {
+	s.events = append(s.events, ev)
+	i := len(s.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.less(i, parent) {
+			break
+		}
+		s.events[i], s.events[parent] = s.events[parent], s.events[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (s *pshard) pop() pevent {
+	h := s.events
+	root := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = pevent{} // drop the fn reference so the closure can be collected
+	s.events = h[:last]
+	s.siftDown(0)
+	return root
+}
+
+// siftDown restores the heap below index i.
+func (s *pshard) siftDown(i int) {
+	h := s.events
+	n := len(h)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if s.less(c, min) {
+				min = c
+			}
+		}
+		if !s.less(min, i) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// runWindow executes shard s's events with at < horizon.
+func (s *pshard) runWindow(horizon Time) {
+	for len(s.events) > 0 && s.events[0].at < horizon {
+		ev := s.pop()
+		s.now = ev.at
+		s.executed++
+		ev.fn()
+	}
+}
+
+// flush merges every mailbox into its destination heap. Runs on the
+// coordinator between windows; the merge order (ascending src, then
+// append order) is fixed, though execution order depends only on the
+// canonical keys assigned at scheduling time.
+func (k *Shards) flush() {
+	for si := range k.shards {
+		src := &k.shards[si]
+		for di := range src.outbox {
+			box := src.outbox[di]
+			if len(box) == 0 {
+				continue
+			}
+			dst := &k.shards[di]
+			for _, ev := range box {
+				dst.push(ev)
+			}
+			for i := range box {
+				box[i] = pevent{}
+			}
+			src.outbox[di] = box[:0]
+		}
+	}
+}
+
+// minDue returns the earliest queued event time across all shards, or
+// (0, false) when every heap is empty. Mailboxes are flushed first by
+// the caller, so heaps are authoritative.
+func (k *Shards) minDue() (Time, bool) {
+	lo, ok := Time(0), false
+	for i := range k.shards {
+		sh := &k.shards[i]
+		if len(sh.events) == 0 {
+			continue
+		}
+		if !ok || sh.events[0].at < lo {
+			lo, ok = sh.events[0].at, true
+		}
+	}
+	return lo, ok
+}
+
+// runWindowAll executes one window on all shards using the given worker
+// count. Shard i is handled by worker i%workers — a static assignment,
+// so which goroutine runs a shard never depends on timing. workers<=1
+// runs inline with zero synchronization.
+func (k *Shards) runWindowAll(workers int, horizon Time) {
+	n := len(k.shards)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range k.shards {
+			k.shards[i].runWindow(horizon)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				k.shards[i].runWindow(horizon)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Run advances all shards in lockstep windows until every queued event
+// later than until would remain, then sets all clocks to until (when
+// behind). workers <= 0 means runtime.NumCPU(). It returns the number
+// of events executed by this call.
+func (k *Shards) Run(workers int, until Time) uint64 {
+	return k.run(workers, until, math.MaxUint64)
+}
+
+// Drain runs windows until no events remain or maxEvents callbacks have
+// run (checked at window granularity), whichever is first. It reports
+// whether the queues emptied.
+func (k *Shards) Drain(workers int, maxEvents uint64) bool {
+	k.run(workers, math.MaxInt64, maxEvents)
+	return k.Pending() == 0
+}
+
+func (k *Shards) run(workers int, until Time, maxEvents uint64) uint64 {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	start := k.Executed()
+	for k.Executed()-start < maxEvents {
+		k.flush()
+		wlow, ok := k.minDue()
+		if !ok || wlow > until {
+			break
+		}
+		// The window is [wlow, wlow+T); horizon is exclusive. Events at
+		// exactly `until` must still run (Engine.Run semantics), hence
+		// the +1 cap, overflow-guarded for until = MaxInt64.
+		horizon := wlow + k.lookahead
+		if horizon < wlow {
+			horizon = math.MaxInt64
+		}
+		if until < math.MaxInt64 && horizon > until+1 {
+			horizon = until + 1
+		}
+		k.runWindowAll(workers, horizon)
+		k.windows++
+		if k.barrier != nil {
+			k.barrier()
+		}
+	}
+	if until < math.MaxInt64 {
+		for i := range k.shards {
+			if k.shards[i].now < until {
+				k.shards[i].now = until
+			}
+		}
+	}
+	return k.Executed() - start
+}

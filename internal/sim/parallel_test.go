@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestShardsCanonicalOrder pins the execution order of simultaneous
+// events: ascending (at, origin, counter), regardless of insertion
+// order or which shard the origin lives in.
+func TestShardsCanonicalOrder(t *testing.T) {
+	k := NewShards(2, 5, 4)
+	var got []string
+	rec := func(tag string) func() { return func() { got = append(got, tag) } }
+	// Shard 0 owns origins 0,1; shard 1 owns origins 2,3. Insert out of
+	// order; ties at t=10 must run by origin then by counter.
+	k.At(0, 10, 1, rec("t10 org1 c1"))
+	k.At(0, 10, 0, rec("t10 org0 c1"))
+	k.At(0, 10, 0, rec("t10 org0 c2"))
+	k.At(1, 10, 2, rec("t10 org2 c1"))
+	k.At(0, 7, 1, rec("t7 org1"))
+	k.Run(1, 100)
+	// Shards interleave in real time, but each origin's events run on one
+	// shard; with workers=1 the global order is observable directly.
+	want := []string{"t7 org1", "t10 org0 c1", "t10 org0 c2", "t10 org1 c1", "t10 org2 c1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+// TestShardsCrossDelivery checks that cross-shard events flushed at a
+// barrier execute at their due time on the destination shard.
+func TestShardsCrossDelivery(t *testing.T) {
+	k := NewShards(2, 10, 2)
+	var deliveredAt Time = -1
+	k.At(0, 3, 0, func() {
+		k.Cross(0, 1, 3+10, 0, func() { deliveredAt = k.Now(1) })
+	})
+	k.Run(1, 100)
+	if deliveredAt != 13 {
+		t.Fatalf("cross-shard event delivered at %d, want 13", deliveredAt)
+	}
+	if k.Executed() != 2 {
+		t.Fatalf("executed %d events, want 2", k.Executed())
+	}
+}
+
+// TestShardsLookaheadViolationPanics checks the conservative-sync guard.
+func TestShardsLookaheadViolationPanics(t *testing.T) {
+	k := NewShards(2, 10, 2)
+	k.At(0, 5, 0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Cross inside the lookahead window did not panic")
+			}
+		}()
+		k.Cross(0, 1, 14, 0, func() {}) // 14 < now(5) + T(10)
+	})
+	k.Run(1, 100)
+}
+
+// TestShardsPastSchedulingPanics mirrors Engine.At's contract.
+func TestShardsPastSchedulingPanics(t *testing.T) {
+	k := NewShards(1, 10, 1)
+	k.At(0, 20, 0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(0, 5, 0, func() {})
+	})
+	k.Run(1, 100)
+}
+
+// TestShardsRunUntil checks Engine.Run-compatible horizon semantics:
+// events at exactly `until` run, later events stay queued, clocks land
+// on until.
+func TestShardsRunUntil(t *testing.T) {
+	k := NewShards(2, 4, 2)
+	ran := map[Time]bool{}
+	for _, at := range []Time{10, 20, 21} {
+		at := at
+		k.At(int(at)%2, at, int32(at)%2, func() { ran[at] = true })
+	}
+	k.Run(1, 20)
+	if !ran[10] || !ran[20] || ran[21] {
+		t.Fatalf("ran = %v, want events at 10 and 20 only", ran)
+	}
+	for s := 0; s < 2; s++ {
+		if k.Now(s) != 20 {
+			t.Fatalf("shard %d clock = %d, want 20", s, k.Now(s))
+		}
+	}
+	if !k.Drain(1, 10) {
+		t.Fatal("drain did not empty the queue")
+	}
+	if !ran[21] {
+		t.Fatal("event at 21 never ran")
+	}
+}
+
+// TestShardsDeterminismAcrossWorkers runs a cascading cross-shard
+// workload at several worker counts and asserts identical per-origin
+// execution logs (per-origin slices are written only by the owning
+// shard, so recording them is race-free).
+func TestShardsDeterminismAcrossWorkers(t *testing.T) {
+	const (
+		nShards = 8
+		origins = 64
+		T       = Time(10)
+	)
+	run := func(workers int) [][]Time {
+		k := NewShards(nShards, T, origins)
+		log := make([][]Time, origins)
+		var cascade func(org int32, depth int)
+		cascade = func(org int32, depth int) {
+			s := int(org) % nShards
+			log[org] = append(log[org], k.Now(s))
+			if depth == 0 {
+				return
+			}
+			// Ping two "neighbor" origins on other shards and re-arm
+			// locally, mixing intra- and cross-shard scheduling.
+			for d := int32(1); d <= 2; d++ {
+				dst := (org + d*7) % origins
+				at := k.Now(s) + T + Time(org%3)
+				k.Cross(s, int(dst)%nShards, at, org, func() { cascade(dst, depth-1) })
+			}
+			k.At(s, k.Now(s)+1, org, func() { log[org] = append(log[org], -k.Now(s)) })
+		}
+		for o := int32(0); o < origins; o++ {
+			o := o
+			k.At(int(o)%nShards, Time(o%5), o, func() { cascade(o, 4) })
+		}
+		if !k.Drain(workers, 1_000_000) {
+			t.Fatalf("workers=%d: did not quiesce", workers)
+		}
+		return log
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := run(w); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: execution log diverged from workers=1", w)
+		}
+	}
+}
+
+// TestShardsReserve checks the capacity hints take and don't disturb
+// queued events.
+func TestShardsReserve(t *testing.T) {
+	k := NewShards(2, 5, 2)
+	k.At(0, 1, 0, func() {})
+	k.Reserve(0, 1000)
+	k.ReserveOutbox(0, 1, 500)
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d after reserve, want 1", k.Pending())
+	}
+	k.Run(1, 10)
+	if k.Executed() != 1 {
+		t.Fatalf("executed = %d, want 1", k.Executed())
+	}
+}
+
+// TestShardsDrainBackstop checks the runaway-loop guard.
+func TestShardsDrainBackstop(t *testing.T) {
+	k := NewShards(1, 5, 1)
+	var rearm func()
+	rearm = func() { k.At(0, k.Now(0)+1, 0, rearm) }
+	k.At(0, 0, 0, rearm)
+	if k.Drain(1, 100) {
+		t.Fatal("drain of a self-rearming event reported quiescence")
+	}
+	if k.Executed() < 100 {
+		t.Fatalf("executed %d, want >= 100 before backstop", k.Executed())
+	}
+}
+
+func TestShardsRunMaxInt(t *testing.T) {
+	k := NewShards(1, 5, 1)
+	ran := false
+	k.At(0, math.MaxInt64-1, 0, func() { ran = true })
+	k.Run(1, math.MaxInt64)
+	if !ran {
+		t.Fatal("event near MaxInt64 never ran (horizon overflow)")
+	}
+}
+
+func ExampleShards() {
+	k := NewShards(2, 10, 2)
+	k.At(0, 0, 0, func() {
+		k.Cross(0, 1, 10, 0, func() { fmt.Println("delivered at", k.Now(1)) })
+	})
+	k.Run(1, 100)
+	// Output: delivered at 10
+}

@@ -1,0 +1,129 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/driver"
+	"repro/internal/hexgrid"
+	"repro/internal/sim"
+)
+
+// RunParallel drives the workload over the sharded driver to
+// completion, mirroring Run. Arrival streams are already per cell
+// (Substream(seed, 0x7a0+cell), the same labels Run uses), so each
+// stream lives entirely in its cell's shard and the generated load is
+// identical at any shard or worker count.
+//
+// Mobility is unsupported: a handoff leg hands the originating cell's
+// RNG to an adjacent cell, which may live in another shard — the stream
+// would be consumed from two shards and the schedule would stop being
+// shard-local. Specs with HandoffRate != 0 are rejected.
+func RunParallel(p *driver.Parallel, spec Spec) (Stats, error) {
+	if spec.Profile == nil || spec.MeanHold <= 0 || spec.Duration <= 0 {
+		return Stats{}, fmt.Errorf("traffic: spec needs Profile, MeanHold and Duration: %+v", spec)
+	}
+	if spec.HandoffRate != 0 {
+		return Stats{}, fmt.Errorf("traffic: mobility (HandoffRate=%v) requires the serial driver", spec.HandoffRate)
+	}
+	n := p.Grid().NumCells()
+	st := Stats{
+		PerCellOffered: make([]uint64, n),
+		PerCellBlocked: make([]uint64, n),
+	}
+	part := p.Partition()
+	// Per-shard tallies, merged in shard order at the end: counters are
+	// written from shard workers, so the global Stats fields cannot be
+	// touched mid-run. Padded to keep adjacent shards off one cache line.
+	type tally struct {
+		offered, blocked uint64
+		_                [48]byte
+	}
+	tallies := make([]tally, part.NumShards())
+	// Per-shard capacity hints from the same Erlang estimate Run feeds
+	// Engine.Reserve: one candidate arrival per cell plus ~one release
+	// per held call, held calls ≈ offered Erlangs, 2x headroom. The
+	// mailbox hint assumes halo cells dominate cross-shard traffic.
+	for si := 0; si < part.NumShards(); si++ {
+		t := part.Tile(si)
+		var rate float64
+		for c := t.Lo; c < t.Hi; c++ {
+			if r := spec.Profile.MaxRate(c); r > 0 {
+				rate += r
+			}
+		}
+		p.ReserveShard(si, t.Cells()+64+int(2*rate*spec.MeanHold))
+		if h := len(t.Halo); h > 0 {
+			for di := 0; di < part.NumShards(); di++ {
+				if di != si {
+					p.ReserveOutbox(si, di, 4*h)
+				}
+			}
+		}
+	}
+	g := &pgenerator{p: p, spec: spec, stats: &st}
+	for i := 0; i < n; i++ {
+		cell := hexgrid.CellID(i)
+		g.scheduleArrival(cell, &tallies[part.ShardOf(cell)].offered, &tallies[part.ShardOf(cell)].blocked, sim.Substream(spec.Seed, 0x7a0+uint64(i)))
+	}
+	if !p.Drain(2_000_000_000) {
+		return st, fmt.Errorf("traffic: simulation did not quiesce")
+	}
+	if p.Outstanding() != 0 {
+		return st, fmt.Errorf("traffic: %d requests still outstanding after drain", p.Outstanding())
+	}
+	for i := range tallies {
+		st.Offered += tallies[i].offered
+		st.Blocked += tallies[i].blocked
+	}
+	return st, nil
+}
+
+type pgenerator struct {
+	p     *driver.Parallel
+	spec  Spec
+	stats *Stats
+}
+
+// scheduleArrival plants the next candidate arrival for cell, exactly
+// as generator.scheduleArrival does on the serial engine. offered and
+// blocked point at the cell's shard tally.
+func (g *pgenerator) scheduleArrival(cell hexgrid.CellID, offered, blocked *uint64, rng *sim.Rand) {
+	maxRate := g.spec.Profile.MaxRate(cell)
+	if maxRate <= 0 {
+		return
+	}
+	gap := rng.ExpTicks(1 / maxRate)
+	at := g.p.Now(cell) + gap
+	if at > g.spec.Duration {
+		return
+	}
+	g.p.At(cell, at, func() {
+		if rng.Float64()*maxRate <= g.spec.Profile.Rate(cell, g.p.Now(cell)) {
+			g.newCall(cell, offered, blocked, rng)
+		}
+		g.scheduleArrival(cell, offered, blocked, rng)
+	})
+}
+
+// newCall submits a channel request and, when granted, schedules the
+// release. PerCell slots are only ever written by the owning shard, so
+// they need no tally indirection.
+func (g *pgenerator) newCall(cell hexgrid.CellID, offered, blocked *uint64, rng *sim.Rand) {
+	now := g.p.Now(cell)
+	measured := now >= g.spec.Warmup
+	if measured {
+		*offered++
+		g.stats.PerCellOffered[cell]++
+	}
+	remaining := rng.ExpTicks(g.spec.MeanHold)
+	g.p.Request(cell, func(r driver.Result) {
+		if !r.Granted {
+			if measured {
+				*blocked++
+				g.stats.PerCellBlocked[cell]++
+			}
+			return
+		}
+		g.p.After(r.Cell, remaining, func() { g.p.Release(r.Cell, r.Ch) })
+	})
+}

@@ -1,0 +1,90 @@
+package traffic_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/chanset"
+	"repro/internal/driver"
+	"repro/internal/hexgrid"
+	"repro/internal/registry"
+	"repro/internal/traffic"
+)
+
+func parFixture(t *testing.T) (*hexgrid.Grid, *chanset.Assignment, func() *driver.Parallel, *driver.Sim) {
+	t.Helper()
+	g := hexgrid.MustNew(hexgrid.Config{Shape: hexgrid.Rect, Width: 7, Height: 7, ReuseDistance: 2, Wrap: true})
+	assign := chanset.MustAssign(g, 70)
+	factory, err := registry.Build("adaptive", g, assign, registry.Config{Latency: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPar := func() *driver.Parallel {
+		p, err := driver.NewParallel(g, assign, factory, driver.ParallelOptions{Latency: 10, Seed: 101, Shards: 7, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	s := driver.New(g, assign, factory, driver.Options{Latency: 10, Seed: 101})
+	return g, assign, newPar, s
+}
+
+// TestRunParallelMatchesSerialArrivals checks that the sharded workload
+// generator offers exactly the same call schedule as the serial one:
+// arrival streams are per-cell RNG substreams with identical labels, so
+// PerCellOffered must match cell for cell. (Blocking may differ — the
+// two kernels order simultaneous events differently, which is allowed.)
+func TestRunParallelMatchesSerialArrivals(t *testing.T) {
+	_, _, newPar, s := parFixture(t)
+	spec := traffic.Spec{
+		Profile:  traffic.Uniform{PerCell: 7.0 / 3000},
+		MeanHold: 3000,
+		Duration: 20_000,
+		Warmup:   2_000,
+		Seed:     101,
+	}
+	serial, err := traffic.Run(s, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := traffic.RunParallel(newPar(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Offered == 0 {
+		t.Fatal("serial run offered no calls")
+	}
+	if par.Offered != serial.Offered {
+		t.Errorf("offered calls: parallel %d, serial %d", par.Offered, serial.Offered)
+	}
+	if !reflect.DeepEqual(par.PerCellOffered, serial.PerCellOffered) {
+		t.Error("per-cell offered schedules diverged between serial and parallel generators")
+	}
+	if par.Blocked > par.Offered {
+		t.Errorf("blocked %d exceeds offered %d", par.Blocked, par.Offered)
+	}
+}
+
+// TestRunParallelRejectsMobility pins the documented limitation.
+func TestRunParallelRejectsMobility(t *testing.T) {
+	_, _, newPar, _ := parFixture(t)
+	_, err := traffic.RunParallel(newPar(), traffic.Spec{
+		Profile:     traffic.Uniform{PerCell: 0.001},
+		MeanHold:    3000,
+		Duration:    1000,
+		HandoffRate: 0.0001,
+		Seed:        1,
+	})
+	if err == nil {
+		t.Fatal("RunParallel accepted a mobility spec")
+	}
+}
+
+// TestRunParallelValidatesSpec mirrors Run's spec validation.
+func TestRunParallelValidatesSpec(t *testing.T) {
+	_, _, newPar, _ := parFixture(t)
+	if _, err := traffic.RunParallel(newPar(), traffic.Spec{}); err == nil {
+		t.Fatal("RunParallel accepted an empty spec")
+	}
+}

@@ -226,6 +226,14 @@ func (l *Live) doneWork(dropped bool) {
 // Idle reports whether no message or closure is queued or in flight.
 func (l *Live) Idle() bool { return l.inflight.Load() == 0 }
 
+// AddExternalWork implements WorkRegistrar: it counts one externally
+// owned obligation (e.g. a reliability-layer retransmit timer) into the
+// in-flight accounting so WaitIdle blocks on it.
+func (l *Live) AddExternalWork() { l.inflight.Add(1) }
+
+// ExternalWorkDone retires one unit registered with AddExternalWork.
+func (l *Live) ExternalWorkDone() { l.doneWork(false) }
+
 // DroppedOnStop reports how many sends and closures were discarded
 // because they raced with or followed Stop.
 func (l *Live) DroppedOnStop() uint64 { return l.droppedOnStop.Load() }
@@ -236,9 +244,15 @@ func (l *Live) DroppedOnStop() uint64 { return l.droppedOnStop.Load() }
 // counted until after it returns, so anything it enqueues is visible
 // before inflight can reach zero.
 //
-// Caveat: "no queued work" is not "no outstanding requests". Work
-// scheduled outside the transport — time.AfterFunc timers armed by
-// allocator Env.After calls, reliability-layer retransmits, a caller
+// Layers above the transport can fold their own pending work into this
+// wait via the WorkRegistrar interface: Reliable registers one unit per
+// unacked message, so WaitIdle does not report idle while a retransmit
+// timer is armed — the message is either acked, retried, or abandoned
+// before the fabric counts as drained.
+//
+// Caveat: "no queued work" is still not "no outstanding requests". Work
+// scheduled outside the transport and its registered layers —
+// time.AfterFunc timers armed by allocator Env.After calls, a caller
 // about to Send — is invisible here, so the transport can be
 // momentarily idle while the protocol still owes answers. Callers must
 // track application-level completion (e.g. outstanding-request counts)

@@ -56,6 +56,11 @@ func (c ReliableConfig) Validate() error {
 type Reliable struct {
 	inner Transport
 	cfg   ReliableConfig
+	// reg is the in-flight registrar beneath this layer (nil on DES).
+	// Every outstanding unacked message holds exactly one work unit from
+	// Send until ack, retry exhaustion, or Close — so Live.WaitIdle
+	// blocks on armed retransmit timers instead of racing them.
+	reg WorkRegistrar
 
 	// OnAbandon, when set, is invoked (outside the layer's lock) for
 	// every message whose retransmit budget is exhausted. Runtimes use
@@ -103,9 +108,29 @@ func NewReliable(inner Transport, cfg ReliableConfig) *Reliable {
 	return &Reliable{
 		inner:       inner,
 		cfg:         cfg,
+		reg:         registrarOf(inner),
 		sendSeq:     make(map[linkKey]uint64),
 		outstanding: make(map[linkKey]map[uint64]*unacked),
 		recv:        make(map[linkKey]*rcvState),
+	}
+}
+
+// Inner implements Unwrapper, exposing the wrapped transport to
+// capability probes.
+func (r *Reliable) Inner() Transport { return r.inner }
+
+// addWork/workDone bracket one unacked message's lifetime in the
+// underlying transport's idleness accounting; no-ops without a
+// registrar (DES).
+func (r *Reliable) addWork() {
+	if r.reg != nil {
+		r.reg.AddExternalWork()
+	}
+}
+
+func (r *Reliable) workDone() {
+	if r.reg != nil {
+		r.reg.ExternalWorkDone()
 	}
 }
 
@@ -138,6 +163,10 @@ func (r *Reliable) Send(m message.Message) {
 	}
 	om[m.Seq] = u
 	r.unackedN++
+	// The work unit is taken before the timer can fire (we hold r.mu)
+	// and before the message enters the fabric, so WaitIdle sees the
+	// obligation from the very first moment.
+	r.addWork()
 	seq := m.Seq
 	u.timer = time.AfterFunc(u.backoff, func() { r.retransmit(key, seq) })
 	r.mu.Unlock()
@@ -163,6 +192,7 @@ func (r *Reliable) retransmit(key linkKey, seq uint64) {
 		if cb != nil {
 			cb(m)
 		}
+		r.workDone()
 		return
 	}
 	r.retransmits.Add(1)
@@ -184,12 +214,19 @@ func (r *Reliable) receive(h Handler, m message.Message) {
 		// The acked link is us→them: the ack's sender is the far end.
 		key := linkKey{m.To, m.From}
 		r.mu.Lock()
+		acked := false
 		if u := r.outstanding[key][m.Seq]; u != nil {
 			u.timer.Stop()
 			delete(r.outstanding[key], m.Seq)
 			r.unackedN--
+			acked = true
 		}
 		r.mu.Unlock()
+		if acked {
+			// Exactly one release per outstanding entry: duplicate acks
+			// find the entry already gone and release nothing.
+			r.workDone()
+		}
 		return
 	}
 	if m.Seq == 0 {
@@ -244,18 +281,28 @@ func (r *Reliable) receive(h Handler, m message.Message) {
 }
 
 // Close stops all retransmit timers and rejects further sends. Call
-// before stopping the transport beneath.
+// before stopping the transport beneath. Outstanding entries are
+// removed (not just silenced) so their work units release exactly once
+// here and a late ack cannot release a second time.
 func (r *Reliable) Close() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
 		return
 	}
 	r.closed = true
+	released := 0
 	for _, om := range r.outstanding {
 		for _, u := range om {
 			u.timer.Stop()
+			released++
 		}
+	}
+	r.outstanding = make(map[linkKey]map[uint64]*unacked)
+	r.unackedN = 0
+	r.mu.Unlock()
+	for i := 0; i < released; i++ {
+		r.workDone()
 	}
 }
 

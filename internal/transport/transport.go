@@ -89,6 +89,11 @@ func (s *Stats) Add(o Stats) {
 	s.RetryExhausted += o.RetryExhausted
 }
 
+// Count records one sent message. Exported for drivers that keep their
+// own per-shard Stats (the parallel DES driver) rather than wrapping a
+// Transport implementation.
+func (s *Stats) Count(m message.Message) { s.count(m) }
+
 // count records one sent message (shared by implementations).
 func (s *Stats) count(m message.Message) {
 	s.Total++
@@ -111,4 +116,37 @@ func innerIdle(t Transport) bool {
 		return i.Idle()
 	}
 	return true
+}
+
+// WorkRegistrar is implemented by transports whose idleness accounting
+// can adopt externally owned work units. Live implements it: a layer
+// that arms its own timers (Reliable's retransmits) registers one unit
+// per pending obligation so Live.WaitIdle cannot report idle while the
+// obligation is live. Calls must balance exactly.
+type WorkRegistrar interface {
+	AddExternalWork()
+	ExternalWorkDone()
+}
+
+// Unwrapper is implemented by decorators that expose the transport they
+// wrap, letting capability probes (registrarOf) search the stack.
+type Unwrapper interface {
+	Inner() Transport
+}
+
+// registrarOf returns the nearest WorkRegistrar at or beneath t, or nil
+// when the stack bottoms out without one (e.g. a DES transport, whose
+// engine owns time and needs no idleness accounting).
+func registrarOf(t Transport) WorkRegistrar {
+	for t != nil {
+		if r, ok := t.(WorkRegistrar); ok {
+			return r
+		}
+		u, ok := t.(Unwrapper)
+		if !ok {
+			return nil
+		}
+		t = u.Inner()
+	}
+	return nil
 }
