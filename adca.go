@@ -161,10 +161,13 @@ func (sc Scenario) validate() error {
 	return nil
 }
 
-// New builds a Network from the scenario.
-func New(sc Scenario) (*Network, error) {
+// buildParts applies the scenario defaults and constructs the pieces
+// shared by the serial and sharded drivers: grid, primary plan and the
+// scheme registry config. It returns the defaulted scenario so callers
+// read back effective values (latency, scheme).
+func buildParts(sc Scenario) (*hexgrid.Grid, *chanset.Assignment, registry.Config, Scenario, error) {
 	if err := sc.validate(); err != nil {
-		return nil, err
+		return nil, nil, registry.Config{}, sc, err
 	}
 	if sc.Scheme == "" {
 		sc.Scheme = "adaptive"
@@ -191,11 +194,11 @@ func New(sc Scenario) (*Network, error) {
 		Wrap:          sc.Wrap,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("adca: %w", err)
+		return nil, nil, registry.Config{}, sc, fmt.Errorf("adca: %w", err)
 	}
 	assign, err := chanset.Assign(grid, sc.Channels)
 	if err != nil {
-		return nil, fmt.Errorf("adca: %w", err)
+		return nil, nil, registry.Config{}, sc, fmt.Errorf("adca: %w", err)
 	}
 	cfg := registry.Config{Latency: sim.Time(sc.LatencyTicks), MaxRounds: sc.MaxRounds}
 	if sc.Adaptive != nil {
@@ -205,6 +208,15 @@ func New(sc Scenario) (*Network, error) {
 			Alpha:     sc.Adaptive.Alpha,
 			Window:    sim.Time(sc.Adaptive.WindowTicks),
 		}
+	}
+	return grid, assign, cfg, sc, nil
+}
+
+// New builds a Network from the scenario.
+func New(sc Scenario) (*Network, error) {
+	grid, assign, cfg, sc, err := buildParts(sc)
+	if err != nil {
+		return nil, err
 	}
 	n := &Network{scheme: sc.Scheme}
 	if sc.Obs != nil {
@@ -405,8 +417,11 @@ type TransportStats struct {
 }
 
 // Stats returns the current statistics snapshot.
-func (n *Network) Stats() Stats {
-	st := n.sim.Stats()
+func (n *Network) Stats() Stats { return networkStats(n.sim.Stats()) }
+
+// networkStats converts a driver snapshot (serial or sharded) into the
+// public Stats shape.
+func networkStats(st driver.Stats) Stats {
 	return Stats{
 		Grants:              st.Grants,
 		Denies:              st.Denies,
@@ -468,16 +483,41 @@ func (n *Network) Close() error {
 	return err
 }
 
+// WorkloadPhase is one timed hot spot: the cells within HotRadius of
+// HotCell offer HotErlang load from StartTicks (inclusive) to EndTicks
+// (exclusive). Sequencing several phases across the grid models commute
+// waves and flash crowds.
+type WorkloadPhase struct {
+	HotCell              int
+	HotRadius            int
+	HotErlang            float64
+	StartTicks, EndTicks int64
+}
+
+// DiurnalCycle modulates all arrival rates sinusoidally:
+// 1 + Swing·sin(2π·t/PeriodTicks) — the day/night cycle.
+type DiurnalCycle struct {
+	Swing       float64
+	PeriodTicks int64
+}
+
 // Workload describes Poisson call traffic for RunWorkload.
 type Workload struct {
 	// ErlangPerCell is the offered load per cell (arrival rate times
 	// mean hold).
 	ErlangPerCell float64
 	// HotCell and HotErlang optionally overlay a hot spot; HotRadius
-	// extends it to the cells within that hex distance of HotCell.
+	// extends it to the cells within that hex distance of HotCell. A
+	// negative HotCell (here and in phases) selects the grid's interior
+	// cell.
 	HotCell   int
 	HotErlang float64
 	HotRadius int
+	// Phases optionally overlay timed hot spots (commute waves, flash
+	// crowds, stadium events).
+	Phases []WorkloadPhase
+	// Diurnal optionally applies a day/night cycle to all rates.
+	Diurnal *DiurnalCycle
 	// MeanHoldTicks is the mean call duration (default 3000).
 	MeanHoldTicks float64
 	// HandoffRate is the per-call mobility rate (events per tick).
@@ -497,33 +537,61 @@ type WorkloadStats struct {
 	HandoffDropProbability        float64
 }
 
-// RunWorkload drives Poisson traffic over the network to completion.
-func (n *Network) RunWorkload(w Workload) (WorkloadStats, error) {
+// workloadSpec translates the facade Workload (loads in Erlang) into
+// the internal traffic.Spec (rates per tick), building the profile
+// through the shared traffic.BuildProfile so the serial and sharded
+// runners — and the scenario loader — agree on profile semantics.
+func workloadSpec(grid *hexgrid.Grid, w Workload) (traffic.Spec, error) {
 	if w.MeanHoldTicks == 0 {
 		w.MeanHoldTicks = 3000
 	}
 	if w.DurationTicks == 0 {
 		w.DurationTicks = 120_000
 	}
-	var profile traffic.Profile
-	base := w.ErlangPerCell / w.MeanHoldTicks
-	if w.HotErlang > 0 {
-		profile = traffic.NewHotspot(n.sim.Grid(), hexgrid.CellID(w.HotCell), w.HotRadius,
-			base, w.HotErlang/w.MeanHoldTicks)
-	} else {
-		profile = traffic.Uniform{PerCell: base}
+	// A negative center selects the grid's interior cell — callers that
+	// build workloads before the grid exists (scenario files, the
+	// sharded runner) use it instead of Network.CenterCell.
+	center := func(c int) hexgrid.CellID {
+		if c < 0 {
+			return grid.InteriorCell()
+		}
+		return hexgrid.CellID(c)
 	}
-	ts, err := traffic.Run(n.sim, traffic.Spec{
+	ps := traffic.ProfileSpec{BaseRate: w.ErlangPerCell / w.MeanHoldTicks}
+	if w.HotErlang > 0 {
+		ps.Hotspot = &traffic.HotspotSpec{
+			Center: center(w.HotCell),
+			Radius: w.HotRadius,
+			Rate:   w.HotErlang / w.MeanHoldTicks,
+		}
+	}
+	for _, ph := range w.Phases {
+		ps.Phases = append(ps.Phases, traffic.PhaseSpec{
+			Center: center(ph.HotCell),
+			Radius: ph.HotRadius,
+			Rate:   ph.HotErlang / w.MeanHoldTicks,
+			Start:  sim.Time(ph.StartTicks),
+			End:    sim.Time(ph.EndTicks),
+		})
+	}
+	if d := w.Diurnal; d != nil {
+		ps.Diurnal = &traffic.DiurnalSpec{Swing: d.Swing, Period: sim.Time(d.PeriodTicks)}
+	}
+	profile, err := traffic.BuildProfile(grid, ps)
+	if err != nil {
+		return traffic.Spec{}, fmt.Errorf("adca: %w", err)
+	}
+	return traffic.Spec{
 		Profile:     profile,
 		MeanHold:    w.MeanHoldTicks,
 		HandoffRate: w.HandoffRate,
 		Duration:    sim.Time(w.DurationTicks),
 		Warmup:      sim.Time(w.WarmupTicks),
 		Seed:        w.Seed,
-	})
-	if err != nil {
-		return WorkloadStats{}, err
-	}
+	}, nil
+}
+
+func workloadStats(ts traffic.Stats) WorkloadStats {
 	return WorkloadStats{
 		Offered:                ts.Offered,
 		Blocked:                ts.Blocked,
@@ -531,5 +599,69 @@ func (n *Network) RunWorkload(w Workload) (WorkloadStats, error) {
 		HandoffDrops:           ts.HandoffDrops,
 		BlockingProbability:    ts.BlockingProbability(),
 		HandoffDropProbability: ts.HandoffDropProbability(),
-	}, nil
+	}
+}
+
+// RunWorkload drives Poisson traffic over the network to completion.
+func (n *Network) RunWorkload(w Workload) (WorkloadStats, error) {
+	spec, err := workloadSpec(n.sim.Grid(), w)
+	if err != nil {
+		return WorkloadStats{}, err
+	}
+	ts, err := traffic.Run(n.sim, spec)
+	if err != nil {
+		return WorkloadStats{}, err
+	}
+	return workloadStats(ts), nil
+}
+
+// ParallelConfig sizes the sharded runner for RunParallelWorkload.
+type ParallelConfig struct {
+	// Shards is the tile count (default min(16, cells)). It is part of
+	// the scenario only through per-cell request-id derivation; per-cell
+	// trajectories and all workload statistics are shard-count-invariant.
+	Shards int
+	// Workers is the goroutine count advancing shards (default NumCPU).
+	// Never affects results.
+	Workers int
+}
+
+// RunParallelWorkload builds the scenario on the sharded driver and
+// drives the same workload RunWorkload would, including mobility:
+// arrival, holding and mobility randomness are per-cell substreams, so
+// the run is bit-identical to the serial RunWorkload trajectory at any
+// shard and worker count. Scenario.Obs is not supported on the sharded
+// driver (journals would be schedule-dependent) and is ignored.
+func RunParallelWorkload(sc Scenario, w Workload, pc ParallelConfig) (WorkloadStats, Stats, error) {
+	grid, assign, cfg, sc, err := buildParts(sc)
+	if err != nil {
+		return WorkloadStats{}, Stats{}, err
+	}
+	factory, err := registry.Build(sc.Scheme, grid, assign, cfg)
+	if err != nil {
+		return WorkloadStats{}, Stats{}, fmt.Errorf("adca: %w", err)
+	}
+	p, err := driver.NewParallel(grid, assign, factory, driver.ParallelOptions{
+		Latency: sim.Time(sc.LatencyTicks),
+		Jitter:  sim.Time(sc.JitterTicks),
+		Seed:    sc.Seed,
+		Check:   sc.CheckInterference,
+		Shards:  pc.Shards,
+		Workers: pc.Workers,
+	})
+	if err != nil {
+		return WorkloadStats{}, Stats{}, fmt.Errorf("adca: %w", err)
+	}
+	spec, err := workloadSpec(grid, w)
+	if err != nil {
+		return WorkloadStats{}, Stats{}, err
+	}
+	ts, err := traffic.RunParallel(p, spec)
+	if err != nil {
+		return WorkloadStats{}, Stats{}, err
+	}
+	if err := p.CheckInvariant(); err != nil {
+		return WorkloadStats{}, Stats{}, err
+	}
+	return workloadStats(ts), networkStats(p.Stats()), nil
 }

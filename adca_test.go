@@ -150,6 +150,86 @@ func TestHandoffWorkload(t *testing.T) {
 	}
 }
 
+func TestHandoffWorkloadRejectsNegativeRate(t *testing.T) {
+	net := adca.MustNew(adca.Scenario{Wrap: true, Seed: 6})
+	if _, err := net.RunWorkload(adca.Workload{
+		ErlangPerCell: 2,
+		HandoffRate:   -0.001,
+		DurationTicks: 10_000,
+		Seed:          6,
+	}); err == nil {
+		t.Fatal("negative handoff rate must be rejected")
+	}
+}
+
+func TestRunParallelWorkloadMatchesSerial(t *testing.T) {
+	sc := adca.Scenario{Wrap: true, Seed: 9, CheckInterference: true}
+	w := adca.Workload{
+		ErlangPerCell: 6,
+		HandoffRate:   0.001,
+		DurationTicks: 30_000,
+		WarmupTicks:   3_000,
+		Seed:          9,
+	}
+	net := adca.MustNew(sc)
+	serial, err := net.RunWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialStats := net.Stats()
+	if serial.HandoffAttempts == 0 {
+		t.Fatal("workload too tame to exercise handoffs")
+	}
+	for _, shards := range []int{1, 7, 16} {
+		par, st, err := adca.RunParallelWorkload(sc, w, adca.ParallelConfig{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// WorkloadStats is derived from integer tallies only, so the
+		// serial and sharded runs must agree exactly. Driver floats
+		// (acquisition-delay aggregates) merge in different orders, so
+		// only the integer tallies are pinned there.
+		if par != serial {
+			t.Errorf("shards=%d workload stats diverged:\n par    %+v\n serial %+v", shards, par, serial)
+		}
+		if st.Grants != serialStats.Grants || st.Denies != serialStats.Denies ||
+			st.Messages != serialStats.Messages {
+			t.Errorf("shards=%d driver tallies diverged: par %d/%d/%d serial %d/%d/%d",
+				shards, st.Grants, st.Denies, st.Messages,
+				serialStats.Grants, serialStats.Denies, serialStats.Messages)
+		}
+	}
+}
+
+func TestWorkloadPhasesAndDiurnal(t *testing.T) {
+	net := adca.MustNew(adca.Scenario{Wrap: true, Seed: 10})
+	ws, err := net.RunWorkload(adca.Workload{
+		ErlangPerCell: 2,
+		HandoffRate:   0.0005,
+		DurationTicks: 40_000,
+		WarmupTicks:   4_000,
+		Seed:          10,
+		Phases: []adca.WorkloadPhase{
+			{HotCell: -1, HotRadius: 1, HotErlang: 15, StartTicks: 10_000, EndTicks: 25_000},
+		},
+		Diurnal: &adca.DiurnalCycle{Swing: 0.5, PeriodTicks: 20_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Offered == 0 || ws.HandoffAttempts == 0 {
+		t.Fatalf("phased mobile workload generated nothing: %+v", ws)
+	}
+	bad := adca.Workload{
+		ErlangPerCell: 2,
+		DurationTicks: 10_000,
+		Phases:        []adca.WorkloadPhase{{HotCell: 9999, HotErlang: 15, StartTicks: 0, EndTicks: 100}},
+	}
+	if _, err := net.RunWorkload(bad); err == nil {
+		t.Fatal("phase centered outside the grid must be rejected")
+	}
+}
+
 func TestDeterministicAcrossRuns(t *testing.T) {
 	run := func() adca.Stats {
 		net := adca.MustNew(adca.Scenario{Wrap: true, Seed: 42})

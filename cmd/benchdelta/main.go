@@ -11,7 +11,10 @@
 // -strict: every run's trajectory hash must match its grid's (worker
 // count must not change the simulation), the hash must not drift from
 // the baseline when workloads are comparable, and speedup at the widest
-// worker count must stay >= 1.0 on multi-core hosts.
+// worker count must stay >= 1.0 on multi-core hosts. The gates cover
+// every grid in the report, including the mobile 50x50 workload whose
+// hash pins the sharded handoff path (per-shard tallies and cross-shard
+// relays included in the digest).
 //
 //	benchdelta -baseline BENCH_baseline.json -current BENCH_ci.json
 package main

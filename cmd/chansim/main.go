@@ -12,14 +12,20 @@
 //	chansim -scheme fixed -hot-erlang 25
 //	chansim -scheme basic-update -erlang 9 -seed 7
 //	chansim -erlang 9 -metrics :9090 -linger 1m -journal run.jsonl
+//	chansim -config scenarios/mobility.json -shards 16
+//
+// Scale: -shards N runs the scenario on the sharded parallel driver
+// (N tiles, -workers goroutines). The trajectory — including mobility
+// (-handoff) — is bit-identical to the serial driver's at any shard and
+// worker count; only -metrics/-journal require the serial path.
 //
 // Performance: -bench runs the measurement harness instead of a
 // scenario and emits a BENCH_*.json document (per-event kernel cost,
 // sweep wall-clock, the live-network message path over loopback TCP,
-// and the sharded parallel kernel's scaling on 50x50 and 100x100 grids
-// with per-run trajectory hashes; see DESIGN.md §9 and §9.5).
-// -bench-quick shrinks the workload for CI smoke; -bench-out writes
-// the JSON to a file; -workers bounds the sweep pool.
+// and the sharded parallel kernel's scaling on 50x50, mobile 50x50 and
+// 100x100 grids with per-run trajectory hashes; see DESIGN.md §9 and
+// §9.5). -bench-quick shrinks the workload for CI smoke; -bench-out
+// writes the JSON to a file; -workers bounds the sweep pool.
 package main
 
 import (
@@ -52,6 +58,7 @@ func main() {
 		warmup    = flag.Int64("warmup", 20_000, "warmup excluded from stats (ticks)")
 		seed      = flag.Uint64("seed", 1, "random seed (runs are deterministic per seed)")
 		check     = flag.Bool("check", true, "verify the interference invariant on every grant")
+		shards    = flag.Int("shards", 0, "run on the sharded parallel driver with this many shards (0 = serial)")
 
 		metricsAddr = flag.String("metrics", "", "serve Prometheus text metrics at this address (e.g. :9090)")
 		journalPath = flag.String("journal", "", "write a JSONL event journal to this file")
@@ -60,7 +67,7 @@ func main() {
 		bench      = flag.Bool("bench", false, "run the performance harness instead of a scenario; emit JSON")
 		benchQuick = flag.Bool("bench-quick", false, "with -bench: shorter runs (CI smoke)")
 		benchOut   = flag.String("bench-out", "", "with -bench: write the JSON here instead of stdout")
-		workers    = flag.Int("workers", 0, "with -bench: sweep pool width (0 = ADCA_WORKERS env var, else NumCPU)")
+		workers    = flag.Int("workers", 0, "with -bench: sweep pool width; with -shards: kernel worker goroutines (0 = NumCPU)")
 	)
 	flag.Parse()
 	if *bench {
@@ -126,7 +133,51 @@ func main() {
 				w.HotErlang = h.Erlang
 				hotRadius = h.Radius
 			}
+			for _, p := range wl.Phases {
+				center := -1 // grid interior unless the file pins a cell
+				if p.CenterCell != nil {
+					center = *p.CenterCell
+				}
+				w.Phases = append(w.Phases, adca.WorkloadPhase{
+					HotCell:    center,
+					HotRadius:  p.Radius,
+					HotErlang:  p.Erlang,
+					StartTicks: p.StartTicks,
+					EndTicks:   p.EndTicks,
+				})
+			}
+			if d := wl.Diurnal; d != nil {
+				w.Diurnal = &adca.DiurnalCycle{Swing: d.Swing, PeriodTicks: d.PeriodTicks}
+			}
 		}
+	}
+	if *hotErlang > 0 && *config == "" {
+		w.HotErlang = *hotErlang
+	}
+	if w.HotErlang > 0 {
+		w.HotCell = -1 // grid interior
+		w.HotRadius = hotRadius
+	}
+	if *shards > 0 {
+		// Sharded parallel run: same trajectory as the serial driver
+		// (bit-identical stats at any shard/worker count), minus the
+		// serial-only observability sinks.
+		if *metricsAddr != "" || *journalPath != "" {
+			fmt.Fprintln(os.Stderr, "chansim: -metrics/-journal need the serial driver (drop -shards)")
+			os.Exit(1)
+		}
+		ws, st, err := adca.RunParallelWorkload(sc, w, adca.ParallelConfig{Shards: *shards, Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		scheme := sc.Scheme
+		if scheme == "" {
+			scheme = "adaptive"
+		}
+		fmt.Printf("driver            parallel (%d shards)\n", *shards)
+		printReport(scheme, ws, st, sc.LatencyTicks)
+		return
 	}
 	if *metricsAddr != "" || *journalPath != "" {
 		oc := &adca.ObsConfig{MetricsAddr: *metricsAddr}
@@ -150,13 +201,6 @@ func main() {
 	if addr := net.MetricsAddr(); addr != "" {
 		fmt.Printf("metrics           http://%s/metrics\n", addr)
 	}
-	if *hotErlang > 0 && *config == "" {
-		w.HotErlang = *hotErlang
-	}
-	if w.HotErlang > 0 {
-		w.HotCell = net.CenterCell()
-		w.HotRadius = hotRadius
-	}
 	ws, err := net.RunWorkload(w)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -166,15 +210,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	st := net.Stats()
-	fmt.Printf("scheme            %s\n", net.Scheme())
 	fmt.Printf("cells / channels  %d / %d\n", net.NumCells(), net.NumChannels())
+	printReport(net.Scheme(), ws, net.Stats(), sc.LatencyTicks)
+	if addr := net.MetricsAddr(); addr != "" && *linger > 0 {
+		fmt.Printf("metrics           lingering at http://%s/metrics for %v\n", addr, *linger)
+		time.Sleep(*linger)
+	}
+}
+
+// printReport renders the common scenario report: telephony outcomes
+// (including handoff drops, merged across shards on the parallel
+// driver), latency in units of T, message overhead and the adaptive
+// path mix.
+func printReport(scheme string, ws adca.WorkloadStats, st adca.Stats, latencyTicks int64) {
+	fmt.Printf("scheme            %s\n", scheme)
 	fmt.Printf("offered calls     %d\n", ws.Offered)
 	fmt.Printf("blocking          %.4f\n", ws.BlockingProbability)
 	if ws.HandoffAttempts > 0 {
 		fmt.Printf("handoff drops     %.4f (%d attempts)\n", ws.HandoffDropProbability, ws.HandoffAttempts)
 	}
-	tUnit := float64(sc.LatencyTicks)
+	tUnit := float64(latencyTicks)
 	if tUnit == 0 {
 		tUnit = 10
 	}
@@ -182,17 +237,13 @@ func main() {
 	fmt.Printf("acq time (p95)    %.2f T\n", st.P95AcquireTicks/tUnit)
 	fmt.Printf("messages/call     %.2f\n", st.MessagesPerRequest)
 	grants := st.LocalGrants + st.UpdateGrants + st.SearchGrants
-	if grants > 0 && net.Scheme() == "adaptive" {
+	if grants > 0 && scheme == "adaptive" {
 		fmt.Printf("path mix          ξ1=%.3f ξ2=%.3f ξ3=%.3f\n",
 			float64(st.LocalGrants)/float64(grants),
 			float64(st.UpdateGrants)/float64(grants),
 			float64(st.SearchGrants)/float64(grants))
 	}
 	fmt.Printf("invariant         ok (no co-channel interference)\n")
-	if addr := net.MetricsAddr(); addr != "" && *linger > 0 {
-		fmt.Printf("metrics           lingering at http://%s/metrics for %v\n", addr, *linger)
-		time.Sleep(*linger)
-	}
 }
 
 // runBench drives the measurement harness and writes the JSON report.

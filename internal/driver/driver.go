@@ -414,7 +414,7 @@ func (e *cellEnv) Send(m message.Message) {
 	e.sim.net.Send(m)
 }
 
-func (e *cellEnv) After(d sim.Time, fn func()) { e.sim.engine.After(d, fn) }
+func (e *cellEnv) After(d sim.Time, fn func()) { e.sim.engine.AfterOrigin(d, int32(e.cell), fn) }
 
 func (e *cellEnv) Began(id alloc.RequestID) {
 	if p, ok := e.sim.pending[id]; ok {

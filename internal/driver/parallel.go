@@ -254,6 +254,19 @@ func (p *Parallel) After(cell hexgrid.CellID, delay sim.Time, fn func()) {
 	p.kernel.After(p.part.ShardOf(cell), delay, int32(cell), fn)
 }
 
+// Relay schedules fn one message latency from from's shard-local now,
+// executing in to's shard with from as the event origin — the driver
+// primitive for workload flows that hop between cells (handoff
+// signalling). The fixed one-latency delay is exactly the kernel's
+// lookahead bound, so a relay is always a legal cross-shard event; it
+// applies even when both cells share a shard, keeping the schedule
+// independent of the partition. Must be called from an event executing
+// in from's shard (or before the run starts).
+func (p *Parallel) Relay(from, to hexgrid.CellID, fn func()) {
+	src := p.part.ShardOf(from)
+	p.kernel.Cross(src, p.part.ShardOf(to), p.kernel.Now(src)+p.opts.Latency, int32(from), fn)
+}
+
 // ReserveShard pre-sizes shard s's event heap (Erlang estimate from the
 // workload, mirroring Engine.Reserve).
 func (p *Parallel) ReserveShard(s, n int) { p.kernel.Reserve(s, n) }

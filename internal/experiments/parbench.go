@@ -2,11 +2,13 @@ package experiments
 
 // Large-grid scaling benchmark for the sharded parallel kernel
 // (sim.Shards / driver.Parallel): 50x50 and 100x100 wrapped lattices at
-// borrow-heavy load, run at 1/2/4/NumCPU workers. Besides events/sec
-// and speedup, every run records a trajectory hash over its final stats
-// — the determinism contract made machine-checkable: all runs of one
-// grid must hash identically regardless of worker count, and the hash
-// must not drift between reports (cmd/benchdelta enforces both).
+// borrow-heavy load — plus a mobile 50x50 workload with handoffs, which
+// exercises the cross-shard relay path — run at 1/2/4/NumCPU workers.
+// Besides events/sec and speedup, every run records a trajectory hash
+// over its final stats (including the handoff tallies) — the
+// determinism contract made machine-checkable: all runs of one grid
+// must hash identically regardless of worker count, and the hash must
+// not drift between reports (cmd/benchdelta enforces both).
 
 import (
 	"crypto/sha256"
@@ -124,7 +126,7 @@ func trajectoryHash(st driver.Stats, ts traffic.Stats) string {
 	for i := range st.CellGrants {
 		hashU64s(h, st.CellGrants[i], st.CellDenies[i])
 	}
-	hashU64s(h, ts.Offered, ts.Blocked)
+	hashU64s(h, ts.Offered, ts.Blocked, ts.HandoffAttempts, ts.HandoffDrops)
 	for i := range ts.PerCellOffered {
 		hashU64s(h, ts.PerCellOffered[i], ts.PerCellBlocked[i])
 	}
@@ -138,17 +140,25 @@ type parGridSpec struct {
 	name          string
 	width, height int
 	duration      sim.Time
+	// handoff, when positive, enables mobility: each call hops to a
+	// random neighbor at this per-tick rate, exercising the sharded
+	// handoff relay path (cross-shard events plus per-shard tallies).
+	handoff float64
 }
 
 func parallelGrids(quick bool) []parGridSpec {
+	// ~2 handoffs per call at meanHold 3000.
+	const mobileRate = 0.00067
 	if quick {
 		return []parGridSpec{
 			{name: "50x50", width: 50, height: 50, duration: 3_000},
+			{name: "50x50-mobile", width: 50, height: 50, duration: 3_000, handoff: mobileRate},
 			{name: "100x100", width: 100, height: 100, duration: 1_500},
 		}
 	}
 	return []parGridSpec{
 		{name: "50x50", width: 50, height: 50, duration: 12_000},
+		{name: "50x50-mobile", width: 50, height: 50, duration: 12_000, handoff: mobileRate},
 		{name: "100x100", width: 100, height: 100, duration: 6_000},
 	}
 }
@@ -200,11 +210,12 @@ func runParallelGrid(gs parGridSpec) (ParallelGridBench, error) {
 		}
 		t0 := time.Now()
 		ts, err := traffic.RunParallel(p, traffic.Spec{
-			Profile:  traffic.Uniform{PerCell: erlang / meanHold},
-			MeanHold: meanHold,
-			Duration: gs.duration,
-			Warmup:   gs.duration / 5,
-			Seed:     101,
+			Profile:     traffic.Uniform{PerCell: erlang / meanHold},
+			MeanHold:    meanHold,
+			HandoffRate: gs.handoff,
+			Duration:    gs.duration,
+			Warmup:      gs.duration / 5,
+			Seed:        101,
 		})
 		if err != nil {
 			return ParallelGridBench{}, err

@@ -15,9 +15,17 @@
 //	    "handoff_rate": 0.001,
 //	    "duration_ticks": 200000,
 //	    "warmup_ticks": 20000,
-//	    "hotspot": {"erlang": 25, "radius": 1}
+//	    "hotspot": {"erlang": 25, "radius": 1},
+//	    "phases": [{"center_cell": 12, "radius": 1, "erlang": 25,
+//	                "start_ticks": 40000, "end_ticks": 80000}],
+//	    "diurnal": {"swing": 0.5, "period_ticks": 100000}
 //	  }
 //	}
+//
+// "phases" are timed hotspot episodes (a commute wave is several phases
+// marching across the grid); "diurnal" modulates all arrival rates by
+// 1 + swing·sin(2π·t/period). A phase without "center_cell" centres on
+// the grid's interior cell.
 //
 // Omitted fields default exactly as in adca.Scenario / adca.Workload.
 package scenario
@@ -66,6 +74,25 @@ type Fault struct {
 	RequestTimeoutMS int64   `json:"request_timeout_ms"`
 }
 
+// Phase is one timed hotspot episode: the cells within Radius of the
+// center run at Erlang offered load from StartTicks (inclusive) to
+// EndTicks (exclusive). A nil CenterCell selects the grid's interior
+// cell, like the stationary hotspot block.
+type Phase struct {
+	CenterCell *int    `json:"center_cell"`
+	Radius     int     `json:"radius"`
+	Erlang     float64 `json:"erlang"`
+	StartTicks int64   `json:"start_ticks"`
+	EndTicks   int64   `json:"end_ticks"`
+}
+
+// Diurnal is the JSON day/night-cycle block: arrival rates are modulated
+// by 1 + swing·sin(2π·t/period).
+type Diurnal struct {
+	Swing       float64 `json:"swing"`
+	PeriodTicks int64   `json:"period_ticks"`
+}
+
 // Workload is the JSON workload block.
 type Workload struct {
 	ErlangPerCell float64  `json:"erlang_per_cell"`
@@ -74,6 +101,8 @@ type Workload struct {
 	DurationTicks int64    `json:"duration_ticks"`
 	WarmupTicks   int64    `json:"warmup_ticks"`
 	Hotspot       *Hotspot `json:"hotspot"`
+	Phases        []Phase  `json:"phases"`
+	Diurnal       *Diurnal `json:"diurnal"`
 }
 
 // Scenario is the top-level JSON document.
@@ -124,7 +153,10 @@ func (sc Scenario) Validate() error {
 		return fmt.Errorf("latency/jitter must be >= 0")
 	}
 	if w := sc.Workload; w != nil {
-		if w.ErlangPerCell < 0 || w.MeanHoldTicks < 0 || w.HandoffRate < 0 {
+		if w.HandoffRate < 0 {
+			return fmt.Errorf("workload handoff_rate must be >= 0 (0 disables mobility), got %v", w.HandoffRate)
+		}
+		if w.ErlangPerCell < 0 || w.MeanHoldTicks < 0 {
 			return fmt.Errorf("workload rates must be >= 0: %+v", *w)
 		}
 		if w.DurationTicks < 0 || w.WarmupTicks < 0 {
@@ -135,6 +167,25 @@ func (sc Scenario) Validate() error {
 		}
 		if h := w.Hotspot; h != nil && (h.Erlang < 0 || h.Radius < 0) {
 			return fmt.Errorf("hotspot must be >= 0: %+v", *h)
+		}
+		for i, p := range w.Phases {
+			if p.Erlang < 0 || p.Radius < 0 {
+				return fmt.Errorf("phase %d must be >= 0: %+v", i, p)
+			}
+			if p.CenterCell != nil && *p.CenterCell < 0 {
+				return fmt.Errorf("phase %d center_cell must be >= 0, got %d", i, *p.CenterCell)
+			}
+			if p.StartTicks < 0 || p.EndTicks <= p.StartTicks {
+				return fmt.Errorf("phase %d window [%d, %d) is empty or negative", i, p.StartTicks, p.EndTicks)
+			}
+		}
+		if d := w.Diurnal; d != nil {
+			if d.Swing < 0 || d.Swing > 1 {
+				return fmt.Errorf("diurnal swing must be in [0, 1], got %v", d.Swing)
+			}
+			if d.PeriodTicks <= 0 {
+				return fmt.Errorf("diurnal period_ticks must be > 0, got %d", d.PeriodTicks)
+			}
 		}
 	}
 	if f := sc.Fault; f != nil {

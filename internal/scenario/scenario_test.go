@@ -3,6 +3,7 @@ package scenario
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -79,6 +80,62 @@ func TestValidateRanges(t *testing.T) {
 		`{"workload": {"erlang_per_cell": -2}}`,
 		`{"workload": {"duration_ticks": 100, "warmup_ticks": 100}}`,
 		`{"workload": {"hotspot": {"erlang": -1}}}`,
+	}
+	for i, body := range bad {
+		if _, err := Load(write(t, body)); err == nil {
+			t.Errorf("case %d should fail: %s", i, body)
+		}
+	}
+}
+
+func TestLoadPhasesAndDiurnal(t *testing.T) {
+	sc, err := Load(write(t, `{
+		"scheme": "adaptive",
+		"workload": {
+			"erlang_per_cell": 4,
+			"handoff_rate": 0.0005,
+			"phases": [
+				{"center_cell": 12, "radius": 1, "erlang": 25, "start_ticks": 40000, "end_ticks": 80000},
+				{"radius": 2, "erlang": 18, "start_ticks": 90000, "end_ticks": 120000}
+			],
+			"diurnal": {"swing": 0.5, "period_ticks": 100000}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sc.Workload
+	if w == nil || len(w.Phases) != 2 {
+		t.Fatalf("phases: %+v", w)
+	}
+	if w.Phases[0].CenterCell == nil || *w.Phases[0].CenterCell != 12 {
+		t.Fatalf("pinned center lost: %+v", w.Phases[0])
+	}
+	if w.Phases[1].CenterCell != nil {
+		t.Fatal("omitted center_cell must stay nil (interior cell)")
+	}
+	if w.Diurnal == nil || w.Diurnal.Swing != 0.5 || w.Diurnal.PeriodTicks != 100000 {
+		t.Fatalf("diurnal block: %+v", w.Diurnal)
+	}
+}
+
+func TestValidateRejectsNegativeHandoffRate(t *testing.T) {
+	_, err := Load(write(t, `{"workload": {"handoff_rate": -0.001}}`))
+	if err == nil || !strings.Contains(err.Error(), "handoff_rate") {
+		t.Fatalf("want descriptive handoff_rate error, got %v", err)
+	}
+}
+
+func TestValidatePhaseAndDiurnalRanges(t *testing.T) {
+	bad := []string{
+		`{"workload": {"phases": [{"erlang": -1, "start_ticks": 0, "end_ticks": 100}]}}`,
+		`{"workload": {"phases": [{"erlang": 1, "radius": -1, "start_ticks": 0, "end_ticks": 100}]}}`,
+		`{"workload": {"phases": [{"erlang": 1, "center_cell": -3, "start_ticks": 0, "end_ticks": 100}]}}`,
+		`{"workload": {"phases": [{"erlang": 1, "start_ticks": 100, "end_ticks": 100}]}}`,
+		`{"workload": {"phases": [{"erlang": 1, "start_ticks": -5, "end_ticks": 100}]}}`,
+		`{"workload": {"diurnal": {"swing": 1.5, "period_ticks": 100}}}`,
+		`{"workload": {"diurnal": {"swing": -0.1, "period_ticks": 100}}}`,
+		`{"workload": {"diurnal": {"swing": 0.5, "period_ticks": 0}}}`,
 	}
 	for i, body := range bad {
 		if _, err := Load(write(t, body)); err == nil {

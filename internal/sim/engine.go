@@ -18,10 +18,17 @@ import (
 // microsecond-ish granularity and express T in ticks.
 type Time int64
 
-// event is one scheduled callback.
+// event is one scheduled callback. Origin-attributed events (AtOrigin/
+// AfterOrigin) carry the cell that scheduled them plus a per-origin
+// counter — the same canonical key the sharded kernel (Shards) orders
+// by, which is what lets a serial run reproduce a sharded run
+// bit-for-bit. Unattributed events (At/After) use org -1 and the global
+// insertion seq as cnt, preserving their historical stable-FIFO order
+// among themselves.
 type event struct {
 	at  Time
-	seq uint64 // insertion order; breaks ties → stable FIFO
+	org int32  // origin cell id, or -1 for unattributed events
+	cnt uint64 // per-origin counter (global seq when org is -1)
 	fn  func()
 }
 
@@ -38,6 +45,9 @@ type Engine struct {
 	seq     uint64
 	events  []event
 	stopped bool
+	// cnt[org] is the per-origin event counter for origin-attributed
+	// events, mirroring Shards.cnt; grown on demand.
+	cnt []uint64
 	// Executed counts callbacks run; useful for progress watchdogs.
 	executed uint64
 }
@@ -67,14 +77,20 @@ func (e *Engine) Reserve(n int) {
 	e.events = grown
 }
 
-// less orders the heap: earliest time first, insertion order among
-// simultaneous events.
+// less orders the heap by the canonical (at, origin, counter) key —
+// identical to the sharded kernel's pshard.less, so a serial run and a
+// sharded run execute simultaneous events in the same order.
+// Unattributed events (org -1) sort before any origin-attributed event
+// at the same tick and keep insertion order among themselves.
 func (e *Engine) less(i, j int) bool {
 	a, b := &e.events[i], &e.events[j]
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	if a.org != b.org {
+		return a.org < b.org
+	}
+	return a.cnt < b.cnt
 }
 
 // push appends ev and restores the heap by sifting it up.
@@ -137,7 +153,32 @@ func (e *Engine) At(at Time, fn func()) {
 		e.panicPast(at, "")
 	}
 	e.seq++
-	e.push(event{at: at, seq: e.seq, fn: fn})
+	e.push(event{at: at, org: -1, cnt: e.seq, fn: fn})
+}
+
+// AtOrigin schedules fn at the absolute time at with an explicit origin
+// cell, assigning the same canonical (at, origin, per-origin counter)
+// key the sharded kernel uses (Shards.At). Drivers that want serial and
+// sharded runs to produce bit-identical trajectories must schedule
+// every event through the origin-attributed API with the origins the
+// sharded path would use.
+func (e *Engine) AtOrigin(at Time, origin int32, fn func()) {
+	if at < e.now {
+		e.panicPast(at, "")
+	}
+	if n := int(origin) + 1; n > len(e.cnt) {
+		grown := make([]uint64, n)
+		copy(grown, e.cnt)
+		e.cnt = grown
+	}
+	e.cnt[origin]++
+	e.push(event{at: at, org: origin, cnt: e.cnt[origin], fn: fn})
+}
+
+// AfterOrigin schedules fn delay ticks from now with an explicit origin
+// cell (see AtOrigin).
+func (e *Engine) AfterOrigin(delay Time, origin int32, fn func()) {
+	e.AtOrigin(e.now+delay, origin, fn)
 }
 
 // AtLabeled is At with a diagnostic label that is included in the
@@ -149,7 +190,7 @@ func (e *Engine) AtLabeled(at Time, label string, fn func()) {
 		e.panicPast(at, label)
 	}
 	e.seq++
-	e.push(event{at: at, seq: e.seq, fn: fn})
+	e.push(event{at: at, org: -1, cnt: e.seq, fn: fn})
 }
 
 // After schedules fn delay ticks from now. Negative delays panic;
@@ -160,7 +201,7 @@ func (e *Engine) After(delay Time, fn func()) {
 		e.panicPast(at, "")
 	}
 	e.seq++
-	e.push(event{at: at, seq: e.seq, fn: fn})
+	e.push(event{at: at, org: -1, cnt: e.seq, fn: fn})
 }
 
 // panicPast reports a past-scheduling bug including the event's origin:

@@ -3,27 +3,31 @@ package traffic
 import (
 	"fmt"
 
+	"repro/internal/chanset"
 	"repro/internal/driver"
 	"repro/internal/hexgrid"
 	"repro/internal/sim"
 )
 
 // RunParallel drives the workload over the sharded driver to
-// completion, mirroring Run. Arrival streams are already per cell
-// (Substream(seed, 0x7a0+cell), the same labels Run uses), so each
-// stream lives entirely in its cell's shard and the generated load is
-// identical at any shard or worker count.
+// completion, mirroring Run. Every random stream the workload consumes
+// is per cell with the same labels Run uses — arrivals/holding
+// (Substream(seed, arrivalLabel+cell)) and mobility
+// (Substream(seed, mobilityLabel+cell)) — so each stream is consumed
+// entirely inside its cell's shard and the generated schedule is
+// identical at any shard or worker count, and identical to the serial
+// engine's.
 //
-// Mobility is unsupported: a handoff leg hands the originating cell's
-// RNG to an adjacent cell, which may live in another shard — the stream
-// would be consumed from two shards and the schedule would stop being
-// shard-local. Specs with HandoffRate != 0 are rejected.
+// Mobility runs sharded: a call leg draws its dwell time and neighbor
+// pick from the *current* cell's mobility substream when the leg is
+// granted, and the handoff itself is a relayed event (driver.Relay)
+// that reaches the target cell one message latency after the crossing —
+// exactly the kernel's lookahead bound, so the hop is always a legal
+// cross-shard event. Handoff tallies are per shard and merged in shard
+// order, like Offered/Blocked.
 func RunParallel(p *driver.Parallel, spec Spec) (Stats, error) {
-	if spec.Profile == nil || spec.MeanHold <= 0 || spec.Duration <= 0 {
-		return Stats{}, fmt.Errorf("traffic: spec needs Profile, MeanHold and Duration: %+v", spec)
-	}
-	if spec.HandoffRate != 0 {
-		return Stats{}, fmt.Errorf("traffic: mobility (HandoffRate=%v) requires the serial driver", spec.HandoffRate)
+	if err := spec.validate(); err != nil {
+		return Stats{}, err
 	}
 	n := p.Grid().NumCells()
 	st := Stats{
@@ -31,14 +35,6 @@ func RunParallel(p *driver.Parallel, spec Spec) (Stats, error) {
 		PerCellBlocked: make([]uint64, n),
 	}
 	part := p.Partition()
-	// Per-shard tallies, merged in shard order at the end: counters are
-	// written from shard workers, so the global Stats fields cannot be
-	// touched mid-run. Padded to keep adjacent shards off one cache line.
-	type tally struct {
-		offered, blocked uint64
-		_                [48]byte
-	}
-	tallies := make([]tally, part.NumShards())
 	// Per-shard capacity hints from the same Erlang estimate Run feeds
 	// Engine.Reserve: one candidate arrival per cell plus ~one release
 	// per held call, held calls ≈ offered Erlangs, 2x headroom. The
@@ -60,10 +56,16 @@ func RunParallel(p *driver.Parallel, spec Spec) (Stats, error) {
 			}
 		}
 	}
-	g := &pgenerator{p: p, spec: spec, stats: &st}
+	g := &pgenerator{
+		p:       p,
+		spec:    spec,
+		stats:   &st,
+		tallies: make([]ptally, part.NumShards()),
+		mob:     mobilityStreams(spec, n),
+	}
 	for i := 0; i < n; i++ {
 		cell := hexgrid.CellID(i)
-		g.scheduleArrival(cell, &tallies[part.ShardOf(cell)].offered, &tallies[part.ShardOf(cell)].blocked, sim.Substream(spec.Seed, 0x7a0+uint64(i)))
+		g.scheduleArrival(cell, sim.Substream(spec.Seed, arrivalLabel+uint64(i)))
 	}
 	if !p.Drain(2_000_000_000) {
 		return st, fmt.Errorf("traffic: simulation did not quiesce")
@@ -71,23 +73,45 @@ func RunParallel(p *driver.Parallel, spec Spec) (Stats, error) {
 	if p.Outstanding() != 0 {
 		return st, fmt.Errorf("traffic: %d requests still outstanding after drain", p.Outstanding())
 	}
-	for i := range tallies {
-		st.Offered += tallies[i].offered
-		st.Blocked += tallies[i].blocked
+	for i := range g.tallies {
+		t := &g.tallies[i]
+		st.Offered += t.offered
+		st.Blocked += t.blocked
+		st.HandoffAttempts += t.hoAttempts
+		st.HandoffDrops += t.hoDrops
 	}
 	return st, nil
 }
 
+// ptally is one shard's scalar counters, merged in shard order at the
+// end: counters are written from shard workers, so the global Stats
+// fields cannot be touched mid-run. Padded to keep adjacent shards off
+// one cache line.
+type ptally struct {
+	offered, blocked    uint64
+	hoAttempts, hoDrops uint64
+	_                   [32]byte
+}
+
 type pgenerator struct {
-	p     *driver.Parallel
-	spec  Spec
-	stats *Stats
+	p       *driver.Parallel
+	spec    Spec
+	stats   *Stats
+	tallies []ptally
+	// mob[cell] mirrors generator.mob: the cell's mobility substream,
+	// consumed only by the cell's owning shard.
+	mob []*sim.Rand
+}
+
+// tally returns the counters of cell's shard. Only the owning shard's
+// worker increments them, so no synchronization is needed.
+func (g *pgenerator) tally(cell hexgrid.CellID) *ptally {
+	return &g.tallies[g.p.Partition().ShardOf(cell)]
 }
 
 // scheduleArrival plants the next candidate arrival for cell, exactly
-// as generator.scheduleArrival does on the serial engine. offered and
-// blocked point at the cell's shard tally.
-func (g *pgenerator) scheduleArrival(cell hexgrid.CellID, offered, blocked *uint64, rng *sim.Rand) {
+// as generator.scheduleArrival does on the serial engine.
+func (g *pgenerator) scheduleArrival(cell hexgrid.CellID, rng *sim.Rand) {
 	maxRate := g.spec.Profile.MaxRate(cell)
 	if maxRate <= 0 {
 		return
@@ -99,31 +123,76 @@ func (g *pgenerator) scheduleArrival(cell hexgrid.CellID, offered, blocked *uint
 	}
 	g.p.At(cell, at, func() {
 		if rng.Float64()*maxRate <= g.spec.Profile.Rate(cell, g.p.Now(cell)) {
-			g.newCall(cell, offered, blocked, rng)
+			g.newCall(cell, rng)
 		}
-		g.scheduleArrival(cell, offered, blocked, rng)
+		g.scheduleArrival(cell, rng)
 	})
 }
 
-// newCall submits a channel request and, when granted, schedules the
-// release. PerCell slots are only ever written by the owning shard, so
-// they need no tally indirection.
-func (g *pgenerator) newCall(cell hexgrid.CellID, offered, blocked *uint64, rng *sim.Rand) {
+// newCall submits a channel request and, when granted, starts the call
+// lifecycle. PerCell slots are only ever written by the owning shard,
+// so they need no tally indirection.
+func (g *pgenerator) newCall(cell hexgrid.CellID, rng *sim.Rand) {
 	now := g.p.Now(cell)
 	measured := now >= g.spec.Warmup
 	if measured {
-		*offered++
+		t := g.tally(cell)
+		t.offered++
 		g.stats.PerCellOffered[cell]++
 	}
 	remaining := rng.ExpTicks(g.spec.MeanHold)
 	g.p.Request(cell, func(r driver.Result) {
 		if !r.Granted {
 			if measured {
-				*blocked++
+				g.tally(cell).blocked++
 				g.stats.PerCellBlocked[cell]++
 			}
 			return
 		}
-		g.p.After(r.Cell, remaining, func() { g.p.Release(r.Cell, r.Ch) })
+		g.continueCall(r.Cell, r.Ch, remaining)
+	})
+}
+
+// continueCall mirrors generator.continueCall on the sharded kernel:
+// one leg of a call in one cell, with dwell and neighbor draws from the
+// current cell's mobility substream. The grant callback runs in the
+// cell's shard, so the draws are shard-local by construction.
+func (g *pgenerator) continueCall(cell hexgrid.CellID, ch chanset.Channel, remaining sim.Time) {
+	if g.spec.HandoffRate > 0 {
+		mob := g.mob[cell]
+		handoffIn := mob.ExpTicks(1 / g.spec.HandoffRate)
+		if handoffIn < remaining {
+			if adj := g.p.Grid().Adjacent(cell); len(adj) > 0 {
+				next := adj[mob.Intn(len(adj))]
+				left := remaining - handoffIn
+				g.p.After(cell, handoffIn, func() { g.depart(cell, ch, next, left) })
+				return
+			}
+		}
+	}
+	g.p.After(cell, remaining, func() { g.p.Release(cell, ch) })
+}
+
+// depart mirrors generator.depart: the crossing is counted in the old
+// cell's shard at crossing time, the handoff request is relayed to the
+// target cell one latency later (a legal cross-shard event by the
+// lookahead bound), and the old channel is released back home one
+// latency after the target's decision. Drops are counted in the target
+// cell's shard at decision time.
+func (g *pgenerator) depart(cell hexgrid.CellID, ch chanset.Channel, next hexgrid.CellID, left sim.Time) {
+	if g.p.Now(cell) >= g.spec.Warmup {
+		g.tally(cell).hoAttempts++
+	}
+	g.p.Relay(cell, next, func() {
+		g.p.Request(next, func(r driver.Result) {
+			g.p.Relay(next, cell, func() { g.p.Release(cell, ch) })
+			if !r.Granted {
+				if g.p.Now(next) >= g.spec.Warmup {
+					g.tally(next).hoDrops++
+				}
+				return
+			}
+			g.continueCall(r.Cell, r.Ch, left)
+		})
 	})
 }

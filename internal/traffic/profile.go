@@ -6,6 +6,9 @@
 package traffic
 
 import (
+	"fmt"
+	"math"
+
 	"repro/internal/hexgrid"
 	"repro/internal/sim"
 )
@@ -136,4 +139,161 @@ func (m MovingHotspot) MaxRate(cell hexgrid.CellID) float64 {
 		}
 	}
 	return m.Base
+}
+
+// Episode is one timed hotspot for Schedule: the covered cells run at
+// Rate between Start (inclusive) and End (exclusive).
+type Episode struct {
+	Cells      map[hexgrid.CellID]bool
+	Rate       float64
+	Start, End sim.Time
+}
+
+// Schedule overlays timed hotspot episodes on a base profile — the
+// building block of the mobile scenario library (commute waves, flash
+// crowds, stadium events). A cell's rate is the maximum of the base
+// profile's rate and every active episode covering the cell; max (not
+// sum) composition keeps MaxRate exact for the thinning sampler.
+type Schedule struct {
+	Base     Profile
+	Episodes []Episode
+}
+
+// Rate implements Profile.
+func (s Schedule) Rate(cell hexgrid.CellID, now sim.Time) float64 {
+	r := s.Base.Rate(cell, now)
+	for _, ep := range s.Episodes {
+		if ep.Cells[cell] && now >= ep.Start && now < ep.End && ep.Rate > r {
+			r = ep.Rate
+		}
+	}
+	return r
+}
+
+// MaxRate implements Profile.
+func (s Schedule) MaxRate(cell hexgrid.CellID) float64 {
+	r := s.Base.MaxRate(cell)
+	for _, ep := range s.Episodes {
+		if ep.Cells[cell] && ep.Rate > r {
+			r = ep.Rate
+		}
+	}
+	return r
+}
+
+// Diurnal modulates a base profile sinusoidally — the day/night cycle:
+// rate(t) = base(t) × (1 + Swing·sin(2π·t/Period)). Swing is the peak
+// fractional deviation in [0, 1]; Period is the cycle length in ticks.
+type Diurnal struct {
+	Base   Profile
+	Swing  float64
+	Period sim.Time
+}
+
+// Rate implements Profile.
+func (d Diurnal) Rate(cell hexgrid.CellID, now sim.Time) float64 {
+	r := d.Base.Rate(cell, now)
+	if d.Swing <= 0 || d.Period <= 0 {
+		return r
+	}
+	return r * (1 + d.Swing*math.Sin(2*math.Pi*float64(now)/float64(d.Period)))
+}
+
+// MaxRate implements Profile.
+func (d Diurnal) MaxRate(cell hexgrid.CellID) float64 {
+	r := d.Base.MaxRate(cell)
+	if d.Swing > 0 {
+		r *= 1 + d.Swing
+	}
+	return r
+}
+
+// HotspotSpec declares a stationary hot zone for ProfileSpec.
+type HotspotSpec struct {
+	Center hexgrid.CellID
+	Radius int
+	// Rate is the hot cells' arrival rate (calls per tick).
+	Rate float64
+}
+
+// PhaseSpec declares one timed hotspot episode for ProfileSpec.
+type PhaseSpec struct {
+	Center     hexgrid.CellID
+	Radius     int
+	Rate       float64
+	Start, End sim.Time
+}
+
+// DiurnalSpec declares sinusoidal day/night modulation for ProfileSpec.
+type DiurnalSpec struct {
+	Swing  float64
+	Period sim.Time
+}
+
+// ProfileSpec is a declarative profile description: a uniform base rate,
+// optionally a stationary hotspot, timed hotspot phases, and a diurnal
+// cycle. It is the shared vocabulary of the adca facade's Workload and
+// the scenario loader, so both construct identical profiles through
+// BuildProfile.
+type ProfileSpec struct {
+	BaseRate float64
+	Hotspot  *HotspotSpec
+	Phases   []PhaseSpec
+	Diurnal  *DiurnalSpec
+}
+
+// BuildProfile validates spec against the grid and assembles the
+// profile: base (or hotspot), wrapped in a Schedule when phases are
+// present, wrapped in a Diurnal when a cycle is declared.
+func BuildProfile(g *hexgrid.Grid, spec ProfileSpec) (Profile, error) {
+	if spec.BaseRate < 0 {
+		return nil, fmt.Errorf("traffic: profile base rate must be >= 0, got %v", spec.BaseRate)
+	}
+	checkZone := func(kind string, center hexgrid.CellID, radius int, rate float64) error {
+		if int(center) < 0 || int(center) >= g.NumCells() {
+			return fmt.Errorf("traffic: %s center cell %d outside grid of %d cells", kind, center, g.NumCells())
+		}
+		if radius < 0 {
+			return fmt.Errorf("traffic: %s radius must be >= 0, got %d", kind, radius)
+		}
+		if rate < 0 {
+			return fmt.Errorf("traffic: %s rate must be >= 0, got %v", kind, rate)
+		}
+		return nil
+	}
+	var p Profile = Uniform{PerCell: spec.BaseRate}
+	if h := spec.Hotspot; h != nil {
+		if err := checkZone("hotspot", h.Center, h.Radius, h.Rate); err != nil {
+			return nil, err
+		}
+		p = NewHotspot(g, h.Center, h.Radius, spec.BaseRate, h.Rate)
+	}
+	if len(spec.Phases) > 0 {
+		eps := make([]Episode, 0, len(spec.Phases))
+		for i, ph := range spec.Phases {
+			if err := checkZone(fmt.Sprintf("phase %d", i), ph.Center, ph.Radius, ph.Rate); err != nil {
+				return nil, err
+			}
+			if ph.Start < 0 || ph.End <= ph.Start {
+				return nil, fmt.Errorf("traffic: phase %d window [%d, %d) is empty or negative", i, ph.Start, ph.End)
+			}
+			eps = append(eps, Episode{
+				Cells: NewHotspot(g, ph.Center, ph.Radius, 0, 0).Cells,
+				Rate:  ph.Rate,
+				Start: ph.Start,
+				End:   ph.End,
+			})
+		}
+		p = Schedule{Base: p, Episodes: eps}
+	}
+	if d := spec.Diurnal; d != nil {
+		if d.Swing < 0 || d.Swing > 1 {
+			return nil, fmt.Errorf("traffic: diurnal swing must be in [0, 1], got %v", d.Swing)
+		}
+		if d.Period <= 0 {
+			return nil, fmt.Errorf("traffic: diurnal period must be > 0 ticks, got %d", d.Period)
+		}
+		p = Diurnal{Base: p, Swing: d.Swing, Period: d.Period}
+	}
+	return p, nil
 }

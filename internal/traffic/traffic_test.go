@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/chanset"
@@ -111,10 +112,122 @@ func TestMovingHotspot(t *testing.T) {
 	}
 }
 
+func TestScheduleProfile(t *testing.T) {
+	s := Schedule{
+		Base: Uniform{PerCell: 0.1},
+		Episodes: []Episode{
+			{Cells: map[hexgrid.CellID]bool{3: true}, Rate: 2, Start: 100, End: 200},
+			{Cells: map[hexgrid.CellID]bool{3: true, 4: true}, Rate: 1, Start: 150, End: 300},
+		},
+	}
+	if s.Rate(3, 50) != 0.1 {
+		t.Error("before any episode must be base")
+	}
+	if s.Rate(3, 150) != 2 {
+		t.Error("overlapping episodes compose by max")
+	}
+	if s.Rate(3, 199) != 2 || s.Rate(3, 200) != 1 {
+		t.Error("episode End is exclusive")
+	}
+	if s.Rate(4, 150) != 1 || s.Rate(4, 100) != 0.1 {
+		t.Error("second episode window")
+	}
+	if s.Rate(5, 150) != 0.1 {
+		t.Error("uncovered cell must be base")
+	}
+	if s.MaxRate(3) != 2 || s.MaxRate(4) != 1 || s.MaxRate(5) != 0.1 {
+		t.Error("MaxRate must bound the hottest covering episode")
+	}
+	weak := Schedule{
+		Base:     Uniform{PerCell: 5},
+		Episodes: []Episode{{Cells: map[hexgrid.CellID]bool{3: true}, Rate: 1, Start: 0, End: 100}},
+	}
+	if weak.Rate(3, 50) != 5 || weak.MaxRate(3) != 5 {
+		t.Error("an episode colder than the base must not lower the rate")
+	}
+}
+
+func TestDiurnalProfile(t *testing.T) {
+	d := Diurnal{Base: Uniform{PerCell: 1}, Swing: 0.5, Period: 400}
+	if got := d.Rate(0, 0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("cycle start must be the base rate, got %v", got)
+	}
+	if got := d.Rate(0, 100); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("quarter period must be the peak 1+Swing, got %v", got)
+	}
+	if got := d.Rate(0, 300); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("three-quarter period must be the trough 1-Swing, got %v", got)
+	}
+	if got := d.MaxRate(0); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("MaxRate must be base*(1+Swing), got %v", got)
+	}
+	flat := Diurnal{Base: Uniform{PerCell: 1}}
+	if flat.Rate(0, 100) != 1 || flat.MaxRate(0) != 1 {
+		t.Error("zero swing must be the identity")
+	}
+}
+
+func TestBuildProfile(t *testing.T) {
+	g := hexgrid.MustNew(hexgrid.Config{Shape: hexgrid.Rect, Width: 7, Height: 7, ReuseDistance: 2, Wrap: true})
+	center := g.InteriorCell()
+	p, err := BuildProfile(g, ProfileSpec{
+		BaseRate: 0.001,
+		Hotspot:  &HotspotSpec{Center: center, Radius: 0, Rate: 0.01},
+		Phases:   []PhaseSpec{{Center: 0, Radius: 0, Rate: 0.02, Start: 100, End: 200}},
+		Diurnal:  &DiurnalSpec{Swing: 0.5, Period: 400},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the diurnal peak (t=100, quarter period) the phase cell runs at
+	// 0.02*(1.5), the hotspot at 0.01*(1.5), everyone else at 0.001*(1.5).
+	if got := p.Rate(0, 100); math.Abs(got-0.03) > 1e-9 {
+		t.Errorf("phase cell at diurnal peak = %v, want 0.03", got)
+	}
+	if got := p.Rate(center, 100); math.Abs(got-0.015) > 1e-9 {
+		t.Errorf("hotspot cell at diurnal peak = %v, want 0.015", got)
+	}
+	if got := p.Rate(1, 0); math.Abs(got-0.001) > 1e-9 {
+		t.Errorf("cold cell at cycle start = %v, want base", got)
+	}
+	if got := p.MaxRate(0); math.Abs(got-0.03) > 1e-9 {
+		t.Errorf("MaxRate(phase cell) = %v, want 0.03", got)
+	}
+
+	bad := []ProfileSpec{
+		{BaseRate: -1},
+		{BaseRate: 0.001, Hotspot: &HotspotSpec{Center: hexgrid.CellID(g.NumCells()), Rate: 0.01}},
+		{BaseRate: 0.001, Hotspot: &HotspotSpec{Center: 0, Radius: -1, Rate: 0.01}},
+		{BaseRate: 0.001, Hotspot: &HotspotSpec{Center: 0, Rate: -0.01}},
+		{BaseRate: 0.001, Phases: []PhaseSpec{{Center: 0, Rate: 0.01, Start: 200, End: 200}}},
+		{BaseRate: 0.001, Phases: []PhaseSpec{{Center: 0, Rate: 0.01, Start: -5, End: 100}}},
+		{BaseRate: 0.001, Diurnal: &DiurnalSpec{Swing: 1.5, Period: 400}},
+		{BaseRate: 0.001, Diurnal: &DiurnalSpec{Swing: 0.5, Period: 0}},
+	}
+	for i, spec := range bad {
+		if _, err := BuildProfile(g, spec); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, spec)
+		}
+	}
+}
+
 func TestRunRejectsBadSpec(t *testing.T) {
 	s := buildSim(t, "fixed", 35, 1)
 	if _, err := Run(s, Spec{}); err == nil {
 		t.Fatal("empty spec must be rejected")
+	}
+}
+
+func TestRunRejectsNegativeHandoffRate(t *testing.T) {
+	s := buildSim(t, "fixed", 35, 1)
+	_, err := Run(s, Spec{
+		Profile:     Uniform{PerCell: 0.001},
+		MeanHold:    1000,
+		Duration:    1000,
+		HandoffRate: -0.001,
+	})
+	if err == nil || !strings.Contains(err.Error(), "HandoffRate") {
+		t.Fatalf("want descriptive HandoffRate error, got %v", err)
 	}
 }
 
@@ -203,6 +316,34 @@ func TestHotspotConcentratesLoad(t *testing.T) {
 	avgCold := float64(rest) / float64(cold)
 	if float64(hot) < 10*avgCold {
 		t.Fatalf("hotspot cell offered %d, cold average %v — not concentrated", hot, avgCold)
+	}
+}
+
+// TestHandoffsCountedByEventTime pins the warmup semantics of the
+// handoff counters: like Offered and Blocked, crossings and drops are
+// gated on the time of the event itself, not on when the call was
+// admitted. Every call here is born before Warmup (arrivals stop at
+// Duration < Warmup), yet their post-warmup crossings must be counted —
+// the old per-call `measured` flag froze the decision at birth and
+// reported zero.
+func TestHandoffsCountedByEventTime(t *testing.T) {
+	s := buildSim(t, "adaptive", 70, 12)
+	st, err := Run(s, Spec{
+		Profile:     Uniform{PerCell: 0.0005},
+		MeanHold:    30_000, // calls outlive the warmup boundary
+		HandoffRate: 0.0005, // a crossing every ~2000 ticks
+		Duration:    10_000, // arrivals stop before warmup ends
+		Warmup:      12_000,
+		Seed:        13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Offered != 0 {
+		t.Fatalf("every arrival predates warmup, yet Offered = %d", st.Offered)
+	}
+	if st.HandoffAttempts == 0 {
+		t.Fatal("post-warmup crossings of pre-warmup calls were not counted")
 	}
 }
 

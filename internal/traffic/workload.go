@@ -17,7 +17,8 @@ type Spec struct {
 	// MeanHold is the mean call duration in ticks (exponential).
 	MeanHold float64
 	// HandoffRate is the per-call rate (events per tick) of moving to
-	// an adjacent cell; 0 disables mobility.
+	// an adjacent cell; 0 disables mobility. Negative rates are
+	// rejected.
 	HandoffRate float64
 	// Duration is when arrivals stop; held calls then drain.
 	Duration sim.Time
@@ -26,6 +27,32 @@ type Spec struct {
 	// Seed drives arrival, holding and mobility randomness.
 	Seed uint64
 }
+
+// validate checks the spec fields shared by Run and RunParallel.
+func (s Spec) validate() error {
+	if s.Profile == nil || s.MeanHold <= 0 || s.Duration <= 0 {
+		return fmt.Errorf("traffic: spec needs Profile, MeanHold and Duration: %+v", s)
+	}
+	if s.HandoffRate < 0 {
+		return fmt.Errorf("traffic: HandoffRate must be >= 0 (0 disables mobility), got %v", s.HandoffRate)
+	}
+	return nil
+}
+
+// Substream labels. Every stream the workload consumes is per cell, so
+// the generated schedule is a pure function of (spec, seed) — on the
+// sharded kernel each stream is additionally consumed by exactly one
+// shard (the cell's owner), which is what lets mobility run in
+// parallel.
+const (
+	// arrivalLabel + cell seeds the cell's arrival/thinning/holding
+	// stream.
+	arrivalLabel = 0x7a0
+	// mobilityLabel + cell seeds the cell's mobility stream: dwell
+	// times and neighbor picks for every call leg currently in that
+	// cell, drawn when the leg is granted there.
+	mobilityLabel = 0x4d0b0000
+)
 
 // Stats are the telephony-level outcomes of a workload run (measured
 // after warmup).
@@ -73,15 +100,15 @@ func (st Stats) GrantRatios() []float64 {
 // Run drives the workload over s to completion (arrivals stop at
 // Duration, held calls drain afterwards) and returns the stats.
 func Run(s *driver.Sim, spec Spec) (Stats, error) {
-	if spec.Profile == nil || spec.MeanHold <= 0 || spec.Duration <= 0 {
-		return Stats{}, fmt.Errorf("traffic: spec needs Profile, MeanHold and Duration: %+v", spec)
+	if err := spec.validate(); err != nil {
+		return Stats{}, err
 	}
 	n := s.Grid().NumCells()
 	st := Stats{
 		PerCellOffered: make([]uint64, n),
 		PerCellBlocked: make([]uint64, n),
 	}
-	g := &generator{sim: s, spec: spec, stats: &st}
+	g := &generator{sim: s, spec: spec, stats: &st, mob: mobilityStreams(spec, n)}
 	// Capacity hint for the DES kernel: the queue concurrently holds one
 	// candidate arrival per cell plus roughly one release/handoff event
 	// per held call, and the expected held-call count is the offered load
@@ -95,7 +122,7 @@ func Run(s *driver.Sim, spec Spec) (Stats, error) {
 	s.Engine().Reserve(n + 64 + int(2*totalRate*spec.MeanHold))
 	for i := 0; i < n; i++ {
 		cell := hexgrid.CellID(i)
-		g.scheduleArrival(cell, sim.Substream(spec.Seed, 0x7a0+uint64(i)))
+		g.scheduleArrival(cell, sim.Substream(spec.Seed, arrivalLabel+uint64(i)))
 	}
 	// Run until well past Duration so calls drain; the queue empties
 	// once no arrivals are scheduled and all calls released.
@@ -108,10 +135,27 @@ func Run(s *driver.Sim, spec Spec) (Stats, error) {
 	return st, nil
 }
 
+// mobilityStreams builds the per-cell mobility substreams, or nil when
+// the spec has no mobility.
+func mobilityStreams(spec Spec, cells int) []*sim.Rand {
+	if spec.HandoffRate <= 0 {
+		return nil
+	}
+	mob := make([]*sim.Rand, cells)
+	for i := range mob {
+		mob[i] = sim.Substream(spec.Seed, mobilityLabel+uint64(i))
+	}
+	return mob
+}
+
 type generator struct {
 	sim   *driver.Sim
 	spec  Spec
 	stats *Stats
+	// mob[cell] is the cell's mobility substream (nil slice without
+	// mobility): dwell and neighbor draws for a leg are taken from the
+	// stream of the cell the leg runs in.
+	mob []*sim.Rand
 }
 
 // scheduleArrival plants the next candidate arrival for cell using
@@ -127,7 +171,7 @@ func (g *generator) scheduleArrival(cell hexgrid.CellID, rng *sim.Rand) {
 	if at > g.spec.Duration {
 		return // arrivals stop; this cell's stream ends
 	}
-	e.At(at, func() {
+	e.AtOrigin(at, int32(cell), func() {
 		// Thinning: accept the candidate with probability rate/maxRate.
 		if rng.Float64()*maxRate <= g.spec.Profile.Rate(cell, e.Now()) {
 			g.newCall(cell, rng)
@@ -139,8 +183,7 @@ func (g *generator) scheduleArrival(cell hexgrid.CellID, rng *sim.Rand) {
 // newCall submits a channel request and, when granted, schedules the
 // call lifecycle (handoffs and final release).
 func (g *generator) newCall(cell hexgrid.CellID, rng *sim.Rand) {
-	e := g.sim.Engine()
-	now := e.Now()
+	now := g.sim.Engine().Now()
 	measured := now >= g.spec.Warmup
 	if measured {
 		g.stats.Offered++
@@ -155,42 +198,57 @@ func (g *generator) newCall(cell hexgrid.CellID, rng *sim.Rand) {
 			}
 			return
 		}
-		g.continueCall(r.Cell, r.Ch, remaining, measured, rng)
+		g.continueCall(r.Cell, r.Ch, remaining)
 	})
 }
 
 // continueCall runs one leg of a call in one cell: either the call ends
-// here (release) or it hands off to a neighbor first.
-func (g *generator) continueCall(cell hexgrid.CellID, ch chanset.Channel, remaining sim.Time, measured bool, rng *sim.Rand) {
+// here (release) or it departs toward a neighbor first. Dwell time and
+// the neighbor pick are drawn from the current cell's mobility
+// substream at leg start, so every draw belongs to the cell the leg
+// runs in — the property that lets the sharded kernel run the same
+// schedule (each stream is consumed by exactly one shard).
+func (g *generator) continueCall(cell hexgrid.CellID, ch chanset.Channel, remaining sim.Time) {
 	e := g.sim.Engine()
-	var handoffIn sim.Time
 	if g.spec.HandoffRate > 0 {
-		handoffIn = rng.ExpTicks(1 / g.spec.HandoffRate)
-	}
-	if g.spec.HandoffRate > 0 && handoffIn < remaining {
-		adj := g.sim.Grid().Adjacent(cell)
-		if len(adj) > 0 {
-			next := adj[rng.Intn(len(adj))]
-			e.After(handoffIn, func() {
-				if measured && e.Now() >= g.spec.Warmup {
-					g.stats.HandoffAttempts++
-				}
+		mob := g.mob[cell]
+		handoffIn := mob.ExpTicks(1 / g.spec.HandoffRate)
+		if handoffIn < remaining {
+			if adj := g.sim.Grid().Adjacent(cell); len(adj) > 0 {
+				next := adj[mob.Intn(len(adj))]
 				left := remaining - handoffIn
-				// Make-before-break: acquire in the new cell, then
-				// release the old channel either way.
-				g.sim.Request(next, func(r driver.Result) {
-					g.sim.Release(cell, ch)
-					if !r.Granted {
-						if measured && e.Now() >= g.spec.Warmup {
-							g.stats.HandoffDrops++
-						}
-						return
-					}
-					g.continueCall(r.Cell, r.Ch, left, measured, rng)
-				})
-			})
-			return
+				e.AfterOrigin(handoffIn, int32(cell), func() { g.depart(cell, ch, next, left) })
+				return
+			}
 		}
 	}
-	e.After(remaining, func() { g.sim.Release(cell, ch) })
+	e.AfterOrigin(remaining, int32(cell), func() { g.sim.Release(cell, ch) })
+}
+
+// depart executes a cell-boundary crossing: the handoff request reaches
+// the target cell one message latency after the crossing (the signalling
+// hop), and the old channel is released one latency after the target's
+// decision — make-before-break with explicit signalling delay, the same
+// schedule the sharded kernel's lookahead bound forces, so serial and
+// parallel runs produce identical trajectories. Handoffs are counted by
+// event time (crossing resp. decision vs Warmup), matching how Offered
+// and Blocked treat warmup.
+func (g *generator) depart(cell hexgrid.CellID, ch chanset.Channel, next hexgrid.CellID, left sim.Time) {
+	e := g.sim.Engine()
+	if e.Now() >= g.spec.Warmup {
+		g.stats.HandoffAttempts++
+	}
+	lat := g.sim.Latency()
+	e.AfterOrigin(lat, int32(cell), func() {
+		g.sim.Request(next, func(r driver.Result) {
+			e.AfterOrigin(lat, int32(next), func() { g.sim.Release(cell, ch) })
+			if !r.Granted {
+				if e.Now() >= g.spec.Warmup {
+					g.stats.HandoffDrops++
+				}
+				return
+			}
+			g.continueCall(r.Cell, r.Ch, left)
+		})
+	})
 }

@@ -86,7 +86,10 @@ func (d *DES) Send(m message.Message) {
 		}
 		d.lastAt[key] = at
 	}
-	d.engine.At(at, func() { h.Handle(m) })
+	// Deliveries carry the *sender* as the event origin — the same key
+	// assignment the sharded driver uses (pcellEnv.Send), so serial and
+	// sharded runs order simultaneous deliveries identically.
+	d.engine.AtOrigin(at, int32(m.From), func() { h.Handle(m) })
 }
 
 // Stats implements Transport.
