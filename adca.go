@@ -32,6 +32,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/hexgrid"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/traffic"
@@ -62,6 +63,12 @@ type Scenario struct {
 	CheckInterference bool
 	// Adaptive overrides the adaptive scheme's tuning (nil: defaults).
 	Adaptive *AdaptiveParams
+	// Predictor selects the adaptive scheme's NFC predictor by name
+	// (nil: the paper's "linear" predictor). See Predictors().
+	Predictor *PolicySpec
+	// Lender selects the adaptive scheme's lender-selection strategy by
+	// name (nil: the paper's "best"). See LenderStrategies().
+	Lender *PolicySpec
 	// MaxRounds caps the retries of the update-based baselines.
 	MaxRounds int
 	// Obs, when non-nil, enables observability: labeled metrics (and
@@ -89,6 +96,27 @@ type AdaptiveParams struct {
 	Alpha               int
 	WindowTicks         int64
 }
+
+// PolicySpec selects a registered adaptive policy (an NFC predictor or
+// a lender-selection strategy) by name, with optional parameters, e.g.
+// {Name: "ewma", Params: map[string]float64{"alpha": 0.2}}.
+type PolicySpec struct {
+	Name   string
+	Params map[string]float64
+}
+
+func (p *PolicySpec) spec() policy.Spec {
+	if p == nil {
+		return policy.Spec{}
+	}
+	return policy.Spec{Name: p.Name, Params: p.Params}
+}
+
+// Predictors lists the registered NFC predictor names.
+func Predictors() []string { return policy.Predictors() }
+
+// LenderStrategies lists the registered lender-selection strategy names.
+func LenderStrategies() []string { return policy.Strategies() }
 
 // RequestID identifies one channel request of a Network. IDs are
 // assigned in submission order, starting at 1, and increase
@@ -209,11 +237,30 @@ func buildParts(sc Scenario) (*hexgrid.Grid, *chanset.Assignment, registry.Confi
 			Window:    sim.Time(sc.Adaptive.WindowTicks),
 		}
 	}
+	// Policy selection rides alongside the scalar tuning; registry.Build
+	// keeps the overrides when it derives default scalars.
+	if sc.Predictor != nil {
+		pb, err := policy.BuildPredictor(sc.Predictor.spec())
+		if err != nil {
+			return nil, nil, registry.Config{}, sc, fmt.Errorf("adca: %w", err)
+		}
+		cfg.Adaptive.Predictor = pb
+	}
+	if sc.Lender != nil {
+		ls, err := policy.BuildStrategy(sc.Lender.spec())
+		if err != nil {
+			return nil, nil, registry.Config{}, sc, fmt.Errorf("adca: %w", err)
+		}
+		cfg.Adaptive.Strategy = ls
+	}
 	return grid, assign, cfg, sc, nil
 }
 
-// New builds a Network from the scenario.
-func New(sc Scenario) (*Network, error) {
+// New builds a Network from the scenario. Options apply on top of the
+// scenario (WithPredictor, WithLender, WithObs, ...); a bare
+// New(Scenario{...}) keeps its pre-option behavior exactly.
+func New(sc Scenario, opts ...Option) (*Network, error) {
+	sc = applyOptions(sc, opts).sc
 	grid, assign, cfg, sc, err := buildParts(sc)
 	if err != nil {
 		return nil, err
@@ -249,8 +296,8 @@ func New(sc Scenario) (*Network, error) {
 }
 
 // MustNew is New but panics on error (for examples and tests).
-func MustNew(sc Scenario) *Network {
-	n, err := New(sc)
+func MustNew(sc Scenario, opts ...Option) *Network {
+	n, err := New(sc, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -626,13 +673,25 @@ type ParallelConfig struct {
 	Workers int
 }
 
-// RunParallelWorkload builds the scenario on the sharded driver and
-// drives the same workload RunWorkload would, including mobility:
-// arrival, holding and mobility randomness are per-cell substreams, so
-// the run is bit-identical to the serial RunWorkload trajectory at any
-// shard and worker count. Scenario.Obs is not supported on the sharded
-// driver (journals would be schedule-dependent) and is ignored.
+// RunParallelWorkload runs the workload on the sharded driver with an
+// explicit ParallelConfig.
+//
+// Deprecated: use RunParallel, which takes the same sizing through
+// WithShards/WithWorkers and composes with the policy and obs options.
 func RunParallelWorkload(sc Scenario, w Workload, pc ParallelConfig) (WorkloadStats, Stats, error) {
+	return RunParallel(sc, w, WithShards(pc.Shards), WithWorkers(pc.Workers))
+}
+
+// RunParallel builds the scenario on the sharded driver and drives the
+// same workload RunWorkload would, including mobility: arrival, holding
+// and mobility randomness are per-cell substreams, so the run is
+// bit-identical to the serial RunWorkload trajectory at any shard and
+// worker count (WithShards/WithWorkers size the runner without changing
+// results). Scenario.Obs is not supported on the sharded driver
+// (journals would be schedule-dependent) and is ignored.
+func RunParallel(sc Scenario, w Workload, opts ...Option) (WorkloadStats, Stats, error) {
+	c := applyOptions(sc, opts)
+	sc, pc := c.sc, c.pc
 	grid, assign, cfg, sc, err := buildParts(sc)
 	if err != nil {
 		return WorkloadStats{}, Stats{}, err

@@ -181,7 +181,7 @@ func TestRunParallelWorkloadMatchesSerial(t *testing.T) {
 		t.Fatal("workload too tame to exercise handoffs")
 	}
 	for _, shards := range []int{1, 7, 16} {
-		par, st, err := adca.RunParallelWorkload(sc, w, adca.ParallelConfig{Shards: shards})
+		par, st, err := adca.RunParallel(sc, w, adca.WithShards(shards))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -73,6 +73,9 @@ func main() {
 	if !checkParallel(base, cur) {
 		failed = true
 	}
+	if !checkPolicies(base, cur) {
+		failed = true
+	}
 	if failed {
 		fmt.Println("benchdelta: REGRESSION detected")
 		os.Exit(1)
@@ -134,6 +137,55 @@ func checkParallel(base, cur experiments.BenchReport) bool {
 	}
 	if len(cur.Parallel.Grids) == 0 && len(base.Parallel.Grids) > 0 {
 		fail("section missing from current report but present in baseline")
+	}
+	return ok
+}
+
+// checkPolicies validates the pluggable-policy section. The default
+// (linear, best) pair is the paper's hard-coded check_mode/Best()
+// behavior re-expressed through the policy seam, so its trajectory hash
+// drifting from the baseline is a hard correctness failure — it means
+// the seam no longer reproduces the reproduction. Non-default pairs are
+// new surface, so their drift only warns (their hashes legitimately
+// change when a policy's math is tuned). Skipped when the baseline
+// predates the section; hashes compare only when Quick flags match
+// (workload lengths differ otherwise).
+func checkPolicies(base, cur experiments.BenchReport) bool {
+	if len(base.Policies.Runs) == 0 {
+		return true
+	}
+	if len(cur.Policies.Runs) == 0 {
+		fmt.Println("  policies: FAIL section missing from current report but present in baseline")
+		return false
+	}
+	ok := true
+	if cd := cur.Policies.DefaultPolicyRun(); cd == nil {
+		fmt.Println("  policies: FAIL default (linear, best) pair missing from current report")
+		ok = false
+	} else if bd := base.Policies.DefaultPolicyRun(); bd != nil && base.Quick == cur.Quick {
+		if bd.Hash != cd.Hash {
+			fmt.Printf("  policies: FAIL default linear/best trajectory hash drifted %.12s -> %.12s (default policies no longer bit-identical)\n",
+				bd.Hash, cd.Hash)
+			ok = false
+		} else {
+			fmt.Printf("  %-22s %12.12s ok (default pair pinned, %d pairs measured)\n",
+				"policy linear/best", cd.Hash, len(cur.Policies.Runs))
+		}
+	}
+	if base.Quick == cur.Quick {
+		baseRuns := make(map[string]string, len(base.Policies.Runs))
+		for _, r := range base.Policies.Runs {
+			baseRuns[r.Predictor+"/"+r.Lender] = r.Hash
+		}
+		for _, r := range cur.Policies.Runs {
+			if r.Predictor == "linear" && r.Lender == "best" {
+				continue
+			}
+			if h, found := baseRuns[r.Predictor+"/"+r.Lender]; found && h != r.Hash {
+				fmt.Printf("  policies: warn %s/%s trajectory hash drifted %.12s -> %.12s\n",
+					r.Predictor, r.Lender, h, r.Hash)
+			}
+		}
 	}
 	return ok
 }

@@ -11,6 +11,8 @@
 //	chansim -scheme adaptive -erlang 6
 //	chansim -scheme fixed -hot-erlang 25
 //	chansim -scheme basic-update -erlang 9 -seed 7
+//	chansim -erlang 9 -predictor ewma,alpha=0.2 -lender interference-aware
+//	chansim -config scenarios/policy-lab.json
 //	chansim -erlang 9 -metrics :9090 -linger 1m -journal run.jsonl
 //	chansim -config scenarios/mobility.json -shards 16
 //
@@ -37,6 +39,7 @@ import (
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/policy"
 	"repro/internal/scenario"
 )
 
@@ -59,6 +62,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed (runs are deterministic per seed)")
 		check     = flag.Bool("check", true, "verify the interference invariant on every grant")
 		shards    = flag.Int("shards", 0, "run on the sharded parallel driver with this many shards (0 = serial)")
+		predictor = flag.String("predictor", "", `adaptive NFC predictor "name[,key=val...]": `+strings.Join(adca.Predictors(), ", "))
+		lender    = flag.String("lender", "", `adaptive lender strategy "name[,key=val...]": `+strings.Join(adca.LenderStrategies(), ", "))
 
 		metricsAddr = flag.String("metrics", "", "serve Prometheus text metrics at this address (e.g. :9090)")
 		journalPath = flag.String("journal", "", "write a JSONL event journal to this file")
@@ -122,6 +127,12 @@ func main() {
 				Alpha: a.Alpha, WindowTicks: a.WindowTicks,
 			}
 		}
+		if p := file.Predictor; p != nil {
+			sc.Predictor = &adca.PolicySpec{Name: p.Name, Params: p.Params}
+		}
+		if l := file.Lender; l != nil {
+			sc.Lender = &adca.PolicySpec{Name: l.Name, Params: l.Params}
+		}
 		w = adca.Workload{Seed: file.Seed}
 		if wl := file.Workload; wl != nil {
 			w.ErlangPerCell = wl.ErlangPerCell
@@ -151,6 +162,24 @@ func main() {
 			}
 		}
 	}
+	// Policy flags override the scenario file: the point of the seam is
+	// re-running a checked-in scenario under a different policy pair.
+	if *predictor != "" {
+		spec, err := policy.ParseSpec(*predictor)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sc.Predictor = &adca.PolicySpec{Name: spec.Name, Params: spec.Params}
+	}
+	if *lender != "" {
+		spec, err := policy.ParseSpec(*lender)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sc.Lender = &adca.PolicySpec{Name: spec.Name, Params: spec.Params}
+	}
 	if *hotErlang > 0 && *config == "" {
 		w.HotErlang = *hotErlang
 	}
@@ -166,7 +195,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "chansim: -metrics/-journal need the serial driver (drop -shards)")
 			os.Exit(1)
 		}
-		ws, st, err := adca.RunParallelWorkload(sc, w, adca.ParallelConfig{Shards: *shards, Workers: *workers})
+		ws, st, err := adca.RunParallel(sc, w, adca.WithShards(*shards), adca.WithWorkers(*workers))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

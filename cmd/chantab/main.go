@@ -14,9 +14,9 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "small runs (smoke test); full runs otherwise")
-		out   = flag.String("out", "", "write the report to this file instead of stdout")
-		only  = flag.String("only", "", "run a single artifact: table1,table2,table3,f1,f4,f5,f5d,f6,f8,f9,f10,f11,f12,a1")
+		quick   = flag.Bool("quick", false, "small runs (smoke test); full runs otherwise")
+		out     = flag.String("out", "", "write the report to this file instead of stdout")
+		only    = flag.String("only", "", "run a single artifact: table1,table2,table3,f1,f4,f5,f5d,f6,f8,f9,f10,f11,f12,a1,policies")
 		csv     = flag.String("csv", "", "also write the load-sweep data as CSV to this file")
 		svg     = flag.String("svgdir", "", "also write figure SVGs into this directory")
 		workers = flag.Int("workers", 0, "sweep worker-pool width (0 = ADCA_WORKERS env var, else NumCPU)")
@@ -156,5 +156,19 @@ func main() {
 	run("a1", func() (string, error) {
 		r, err := experiments.Breakdown(env, nil)
 		return r.Render(), err
+	})
+	run("policies", func() (string, error) {
+		r, err := experiments.PolicySweep(env, nil, nil, nil)
+		if err != nil {
+			return "", err
+		}
+		// -csv belongs to f1 in a full run; claim it only when this
+		// artifact was selected explicitly.
+		if *csv != "" && *only == "policies" {
+			if err := os.WriteFile(*csv, []byte(r.RenderCSV()), 0o644); err != nil {
+				return "", err
+			}
+		}
+		return r.Render(), nil
 	})
 }

@@ -78,6 +78,45 @@ type Params struct {
 	// region instead. Requires a runtime that supports Env.Moved (the
 	// DES driver does).
 	Repack bool
+	// Predictor overrides the NFC predictor driving check_mode (nil:
+	// the paper's windowed linear extrapolation, LinearPredictor).
+	// Named construction lives in internal/policy.
+	Predictor PredictorBuilder
+	// Strategy overrides lender selection on the borrow path (nil: the
+	// policy named by Lender — the paper's Best() by default).
+	Strategy LenderStrategy
+}
+
+// Tuning returns p with the policy objects cleared: the scalar
+// parameter subset. Callers use it to detect "no tuning set" without
+// being confused by a policy-only override.
+func (p Params) Tuning() Params {
+	p.Predictor, p.Strategy = nil, nil
+	return p
+}
+
+// predictorBuilder resolves the NFC predictor in effect.
+func (p Params) predictorBuilder() PredictorBuilder {
+	if p.Predictor != nil {
+		return p.Predictor
+	}
+	return LinearPredictor()
+}
+
+// lenderStrategy resolves the lender strategy in effect: the Strategy
+// override if set, else the legacy LenderPolicy enum.
+func (p Params) lenderStrategy() LenderStrategy {
+	if p.Strategy != nil {
+		return p.Strategy
+	}
+	switch p.Lender {
+	case LenderFirst:
+		return FirstLender()
+	case LenderRandom:
+		return RandomLender()
+	default:
+		return BestLender()
+	}
 }
 
 // DefaultParams returns the parameter set used throughout the
@@ -202,7 +241,16 @@ type Adaptive struct {
 	pending bool
 	rounds  int
 
-	nfc nfcWindow
+	// pred forecasts the free-primary count for check_mode; strategy
+	// ranks lenders in best(). Both default to the paper's policies
+	// (policy.go) and are fixed at Start.
+	pred     Predictor
+	strategy LenderStrategy
+	// cands and candSets back best()'s candidate list so building it
+	// stays allocation-free: one reusable LenderCandidate slot and one
+	// reusable free-primaries set per interference neighbor.
+	cands    []LenderCandidate
+	candSets []chanset.Set
 
 	serial alloc.Serial
 	req    *request // active request FSM, nil when idle
@@ -237,7 +285,14 @@ func (a *Adaptive) Start(env alloc.Env) {
 	a.scratch = chanset.NewSet(n)
 	a.granted = make(map[hexgrid.CellID]chanset.Set)
 	a.updateS = make(map[hexgrid.CellID]bool)
-	a.nfc.init(env.Now(), a.pr.Len(), a.factory.params.Window)
+	a.pred = a.factory.params.predictorBuilder().New(a.factory.params.Window)
+	a.pred.Init(env.Now(), a.pr.Len())
+	a.strategy = a.factory.params.lenderStrategy()
+	a.cands = make([]LenderCandidate, 0, len(a.neighbors))
+	a.candSets = make([]chanset.Set, len(a.neighbors))
+	for i := range a.candSets {
+		a.candSets[i] = chanset.NewSet(n)
+	}
 	a.serial.SetStart(a.startRequest)
 }
 
@@ -360,16 +415,17 @@ func (a *Adaptive) replaceU(j hexgrid.CellID, snapshot chanset.Set) {
 	}
 }
 
-// checkMode is the paper's check_mode() (Figure 6): it appends the
-// current free-primary count to the NFC window, linearly extrapolates it
-// one round trip (2T) ahead, and switches modes across the θ_l / θ_h
-// hysteresis band. Transitions out of borrowing are suppressed while a
-// request is in flight (DESIGN.md D2).
+// checkMode is the paper's check_mode() (Figure 6): it feeds the
+// current free-primary count to the predictor, asks for the count one
+// round trip (2T) ahead, and switches modes across the θ_l / θ_h
+// hysteresis band. The default predictor is the paper's windowed linear
+// NFC extrapolation; see policy.go for the seam. Transitions out of
+// borrowing are suppressed while a request is in flight (DESIGN.md D2).
 func (a *Adaptive) checkMode() {
 	s := a.freePrimary().Len()
 	now := a.env.Now()
-	a.nfc.add(now, s)
-	next := a.nfc.predict(now, s, 2*a.env.Latency())
+	a.pred.Observe(now, s)
+	next := a.pred.Predict(now, s, 2*a.env.Latency())
 	p := a.factory.params
 	switch {
 	case a.mode == ModeLocal && next < p.ThetaLow:

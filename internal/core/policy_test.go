@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chanset"
+	"repro/internal/hexgrid"
+	"repro/internal/sim"
+)
+
+// TestLinearPredictorMatchesNFCWindow pins the default predictor to the
+// paper's nfcWindow math sample for sample: the seam must be a pure
+// re-plumbing, not a reimplementation.
+func TestLinearPredictorMatchesNFCWindow(t *testing.T) {
+	const window = sim.Time(500)
+	p := LinearPredictor().New(window)
+	var w nfcWindow
+	p.Init(0, 10)
+	w.init(0, 10, window)
+	samples := []struct {
+		t sim.Time
+		s int
+	}{{40, 9}, {90, 9}, {90, 8}, {200, 6}, {450, 7}, {700, 5}, {1200, 8}}
+	for _, smp := range samples {
+		p.Observe(smp.t, smp.s)
+		w.add(smp.t, smp.s)
+		for _, horizon := range []sim.Time{0, 20, 100} {
+			got := p.Predict(smp.t, smp.s, horizon)
+			want := w.predict(smp.t, smp.s, horizon)
+			if got != want {
+				t.Fatalf("t=%d horizon=%d: linear predictor %v != nfcWindow %v",
+					smp.t, horizon, got, want)
+			}
+		}
+	}
+}
+
+func TestLinearPredictorName(t *testing.T) {
+	if n := LinearPredictor().Name(); n != "linear" {
+		t.Fatalf("default predictor name = %q, want linear", n)
+	}
+	if n := BestLender().Name(); n != "best" {
+		t.Fatalf("default strategy name = %q, want best", n)
+	}
+}
+
+func TestEWMAPredictor(t *testing.T) {
+	p := EWMAPredictor(0.5).New(100)
+	p.Init(0, 8)
+	if got := p.Predict(0, 8, 20); got != 8 {
+		t.Fatalf("initial level = %v, want 8", got)
+	}
+	p.Observe(10, 4) // 8 + 0.5*(4-8) = 6
+	if got := p.Predict(10, 4, 20); got != 6 {
+		t.Fatalf("level after one sample = %v, want 6", got)
+	}
+	p.Observe(20, 6) // 6 + 0.5*(6-6) = 6
+	if got := p.Predict(20, 6, 20); got != 6 {
+		t.Fatalf("level after steady sample = %v, want 6", got)
+	}
+}
+
+func TestDampedTrendPredictor(t *testing.T) {
+	// A constant series must predict the constant, whatever the horizon.
+	p := DampedTrendPredictor(0.5, 0.2, 0.8).New(100)
+	p.Init(0, 7)
+	for _, tt := range []sim.Time{10, 20, 30, 40} {
+		p.Observe(tt, 7)
+	}
+	if got := p.Predict(40, 7, 50); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("constant series forecast = %v, want 7", got)
+	}
+	// A steady drain must forecast below the last level, but damping
+	// keeps the forecast above the undamped linear extrapolation.
+	p = DampedTrendPredictor(0.5, 0.5, 0.5).New(100)
+	p.Init(0, 20)
+	level := 20
+	for tt := sim.Time(10); tt <= 100; tt += 10 {
+		level--
+		p.Observe(tt, level)
+	}
+	got := p.Predict(100, level, 100)
+	if got >= float64(level) {
+		t.Fatalf("draining series forecast %v did not fall below current level %d", got, level)
+	}
+	undamped := float64(level) - 0.1*100 // true slope is -0.1/tick
+	if got <= undamped {
+		t.Fatalf("damped forecast %v at or below undamped extrapolation %v", got, undamped)
+	}
+	// phi = 0 degenerates to trendless smoothing: forecast independent
+	// of horizon.
+	p = DampedTrendPredictor(0.5, 0.5, 0).New(100)
+	p.Init(0, 20)
+	p.Observe(10, 10)
+	if a, b := p.Predict(10, 10, 1), p.Predict(10, 10, 1000); a != b {
+		t.Fatalf("phi=0 forecast depends on horizon: %v != %v", a, b)
+	}
+}
+
+func TestDampedTrendSameTickResample(t *testing.T) {
+	p := DampedTrendPredictor(0.5, 0.5, 1).New(100)
+	p.Init(0, 10)
+	p.Observe(10, 8)
+	before := p.Predict(10, 8, 0)
+	p.Observe(10, 6) // same tick: level moves, trend must not blow up
+	after := p.Predict(10, 6, 0)
+	if math.IsNaN(after) || math.IsInf(after, 0) {
+		t.Fatalf("same-tick resample produced %v", after)
+	}
+	if after >= before {
+		t.Fatalf("same-tick lower sample did not lower the level: %v -> %v", before, after)
+	}
+}
+
+func TestLastValuePredictor(t *testing.T) {
+	p := LastValuePredictor().New(100)
+	p.Init(0, 3)
+	p.Observe(50, 9)
+	if got := p.Predict(50, 9, 500); got != 9 {
+		t.Fatalf("persistence forecast = %v, want 9", got)
+	}
+}
+
+// candidates builds a deterministic candidate list for strategy tests.
+// Sets are built over 16 channels; lowestFree is the first set bit.
+func candidates(t *testing.T, rows []struct {
+	cell   int
+	free   []int
+	shared int
+}) []LenderCandidate {
+	t.Helper()
+	out := make([]LenderCandidate, 0, len(rows))
+	for _, r := range rows {
+		set := chanset.NewSet(16)
+		for _, ch := range r.free {
+			set.Add(chanset.Channel(ch))
+		}
+		out = append(out, LenderCandidate{
+			Cell:            hexgrid.CellID(r.cell),
+			FreePrimaries:   set,
+			FreeCount:       set.Len(),
+			LowestFree:      set.First(),
+			SharedBorrowers: r.shared,
+		})
+	}
+	return out
+}
+
+func TestLenderStrategyRanking(t *testing.T) {
+	cands := candidates(t, []struct {
+		cell   int
+		free   []int
+		shared int
+	}{
+		{cell: 3, free: []int{7, 9}, shared: 2},
+		{cell: 5, free: []int{2, 4, 6}, shared: 1},
+		{cell: 8, free: []int{11}, shared: 1},
+		{cell: 9, free: []int{0, 12, 13}, shared: 3},
+	})
+	rng := sim.NewRand(1)
+	cases := []struct {
+		strategy LenderStrategy
+		want     int
+		why      string
+	}{
+		{BestLender(), 1, "fewest shared borrowers, first on tie (cells 5 vs 8)"},
+		{FirstLender(), 0, "always the lowest-id candidate"},
+		{InterferenceAwareLender(), 1, "3 free primaries beats cell 9's tie via fewer shared"},
+		{ReusedFrequencyLender(), 3, "cell 9 offers channel 0"},
+	}
+	for _, c := range cases {
+		if got := c.strategy.Choose(cands, rng); got != c.want {
+			t.Errorf("%s chose %d, want %d (%s)", c.strategy.Name(), got, c.want, c.why)
+		}
+	}
+	// interference-aware full tie (count and shared equal): lowest id.
+	tie := candidates(t, []struct {
+		cell   int
+		free   []int
+		shared int
+	}{
+		{cell: 4, free: []int{5, 6}, shared: 1},
+		{cell: 6, free: []int{7, 8}, shared: 1},
+	})
+	if got := InterferenceAwareLender().Choose(tie, rng); got != 0 {
+		t.Errorf("interference-aware tie chose %d, want 0 (lowest id)", got)
+	}
+}
+
+func TestRandomLenderDeterministicPerStream(t *testing.T) {
+	cands := candidates(t, []struct {
+		cell   int
+		free   []int
+		shared int
+	}{
+		{cell: 1, free: []int{1}, shared: 0},
+		{cell: 2, free: []int{2}, shared: 0},
+		{cell: 3, free: []int{3}, shared: 0},
+	})
+	draw := func() []int {
+		rng := sim.NewRand(42)
+		out := make([]int, 8)
+		for i := range out {
+			out[i] = RandomLender().Choose(cands, rng)
+			if out[i] < 0 || out[i] >= len(cands) {
+				t.Fatalf("random choice %d out of range", out[i])
+			}
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("random lender not deterministic per seed: %v vs %v", a, b)
+		}
+	}
+}

@@ -598,49 +598,52 @@ func (a *Adaptive) onRelease(m message.Message) {
 	a.checkMode()
 }
 
-// best selects the lender. With LenderBest it is Figure 10: among the
+// best selects the lender: it gathers every eligible candidate — the
 // non-borrowing neighbors that own a free (in our view) primary channel
-// we could borrow, pick the one with the fewest borrowing neighbors in
-// common with us (ties break on cell id). The alternative policies
-// support the heuristic's ablation.
+// we could borrow (DESIGN.md D1) — and delegates the ranking to the
+// configured LenderStrategy (policy.go). The default strategy is the
+// paper's Figure 10 Best(): fewest borrowing neighbors in common with
+// us, ties broken on cell id. Candidate storage is reused across calls,
+// so the borrow path stays allocation-free.
 func (a *Adaptive) best() hexgrid.CellID {
 	free := a.freeAnywhere()
 	if free.Empty() {
 		return hexgrid.None
 	}
-	var eligible []hexgrid.CellID
+	cands := a.cands[:0]
 	for _, j := range a.neighbors {
 		if a.updateS[j] {
 			continue // NotBorrowing = IN_i − UpdateS_i
 		}
-		if !free.Intersects(a.factory.assign.Primary[j]) {
-			continue // nothing to borrow from j (DESIGN.md D1)
+		set := a.candSets[len(cands)]
+		set.Clear()
+		set.UnionWith(free)
+		set.IntersectWith(a.factory.assign.Primary[j])
+		if set.Empty() {
+			continue // nothing to borrow from j
 		}
-		eligible = append(eligible, j)
-	}
-	if len(eligible) == 0 {
-		return hexgrid.None
-	}
-	switch a.factory.params.Lender {
-	case LenderFirst:
-		return eligible[0]
-	case LenderRandom:
-		return eligible[a.env.Rand().Intn(len(eligible))]
-	}
-	minID := hexgrid.None
-	minBN := int(^uint(0) >> 1)
-	for _, j := range eligible {
 		bn := 0
 		for _, k := range a.factory.grid.Interference(j) {
 			if a.updateS[k] {
 				bn++ // |UpdateS_i ∩ IN_j|
 			}
 		}
-		if bn < minBN {
-			minID, minBN = j, bn
-		}
+		cands = append(cands, LenderCandidate{
+			Cell:            j,
+			FreePrimaries:   set,
+			FreeCount:       set.Len(),
+			LowestFree:      set.First(),
+			SharedBorrowers: bn,
+		})
 	}
-	return minID
+	if len(cands) == 0 {
+		return hexgrid.None
+	}
+	idx := a.strategy.Choose(cands, a.env.Rand())
+	if idx < 0 || idx >= len(cands) {
+		return hexgrid.None // strategy declined: fall through to search
+	}
+	return cands[idx].Cell
 }
 
 // pickBorrow selects the channel to borrow from lender j: the lowest

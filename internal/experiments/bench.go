@@ -59,6 +59,7 @@ type BenchReport struct {
 	Sweep      SweepBench    `json:"sweep"`
 	Network    NetworkBench  `json:"network"`
 	Parallel   ParallelBench `json:"parallel"`
+	Policies   PolicyBench   `json:"policies"`
 }
 
 // benchEnv is the scenario the harness measures. Quick mode shortens
@@ -170,6 +171,10 @@ func RunBench(workers int, quick bool) (BenchReport, error) {
 	if err != nil {
 		return BenchReport{}, err
 	}
+	policies, err := RunPolicyBench(quick)
+	if err != nil {
+		return BenchReport{}, err
+	}
 	return BenchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      quick,
@@ -177,6 +182,7 @@ func RunBench(workers int, quick bool) (BenchReport, error) {
 		Sweep:      sweep,
 		Network:    network,
 		Parallel:   parallel,
+		Policies:   policies,
 	}, nil
 }
 

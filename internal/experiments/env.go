@@ -221,10 +221,13 @@ func (e Env) InterferenceDegree() float64 {
 	return float64(hexgrid.MustNew(e.Grid).MaxInterferenceDegree())
 }
 
-// AdaptiveParams resolves the adaptive parameter set in effect.
+// AdaptiveParams resolves the adaptive parameter set in effect,
+// preserving any policy overrides when the scalar tuning is defaulted.
 func (e Env) AdaptiveParams() core.Params {
-	if e.Adaptive == (core.Params{}) {
-		return core.DefaultParams(e.Latency)
+	if e.Adaptive.Tuning() == (core.Params{}) {
+		p := core.DefaultParams(e.Latency)
+		p.Predictor, p.Strategy = e.Adaptive.Predictor, e.Adaptive.Strategy
+		return p
 	}
 	return e.Adaptive
 }

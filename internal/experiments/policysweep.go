@@ -1,0 +1,168 @@
+package experiments
+
+// The policy lab: the predictor × lender-strategy × scheme sweep that
+// turns the reproduction into a channel-allocation testbed. Every
+// registered NFC predictor is crossed with every registered lender
+// strategy on the adaptive scheme, the comparison baselines ride along
+// as policy-independent rows, and the whole grid drains on the bounded
+// sweep worker pool (pool.go) — deterministic at any width — before
+// rendering one comparison table artifact.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/traffic"
+)
+
+// PolicyRow is one sweep outcome: a (scheme, predictor, lender) cell of
+// the comparison matrix. Predictor/Lender are empty for the baseline
+// schemes, which have no policy seam.
+type PolicyRow struct {
+	Scheme    string
+	Predictor string
+	Lender    string
+	Measured
+}
+
+// Label renders the row's identity ("adaptive ewma/best", "fixed").
+func (r PolicyRow) Label() string {
+	if r.Predictor == "" && r.Lender == "" {
+		return r.Scheme
+	}
+	return fmt.Sprintf("%s %s/%s", r.Scheme, r.Predictor, r.Lender)
+}
+
+// PolicySweepResult is the comparison artifact of the policy lab.
+type PolicySweepResult struct {
+	Title string
+	// Predictors and Lenders are the matrix axes actually swept (spec
+	// strings, e.g. "ewma,alpha=0.3").
+	Predictors, Lenders []string
+	// Schemes are the policy-independent baselines appended for scale.
+	Schemes []string
+	// Rows hold every outcome: the adaptive matrix in predictor-major
+	// order, then one row per baseline scheme.
+	Rows []PolicyRow
+}
+
+// Render formats the sweep as the comparison table artifact.
+func (r PolicySweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	labels := make([]string, len(r.Rows))
+	blocking := make([]float64, len(r.Rows))
+	msgs := make([]float64, len(r.Rows))
+	acq := make([]float64, len(r.Rows))
+	attempts := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		labels[i] = row.Label()
+		blocking[i] = row.Blocking
+		msgs[i] = row.MsgsPerCall
+		acq[i] = row.AcqTime
+		attempts[i] = row.M
+	}
+	b.WriteString(metrics.Table("scheme predictor/lender", labels, []metrics.Series{
+		{Label: "blocking", Values: blocking},
+		{Label: "msgs/call", Values: msgs},
+		{Label: "acq time (T)", Values: acq},
+		{Label: "attempts/borrow", Values: attempts},
+	}))
+	return b.String()
+}
+
+// RenderCSV emits the sweep as CSV for downstream analysis.
+func (r PolicySweepResult) RenderCSV() string {
+	var b strings.Builder
+	b.WriteString("scheme,predictor,lender,blocking,msgs_per_call,acq_time_T,attempts_per_borrow,fairness\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%s,%s,%.6f,%.4f,%.4f,%.4f,%.4f\n",
+			row.Scheme, row.Predictor, row.Lender,
+			row.Blocking, row.MsgsPerCall, row.AcqTime, row.M, row.Fairness)
+	}
+	return b.String()
+}
+
+// defaultPolicyAxes returns every registered policy as a spec list.
+func defaultPolicyAxes() (preds, lends []policy.Spec) {
+	for _, name := range policy.Predictors() {
+		preds = append(preds, policy.Spec{Name: name})
+	}
+	for _, name := range policy.Strategies() {
+		lends = append(lends, policy.Spec{Name: name})
+	}
+	return preds, lends
+}
+
+// PolicySweep runs the predictor × lender matrix on the adaptive scheme
+// plus the given baseline schemes, under a clustered hot spot where
+// both seams actually matter (the predictor governs mode flapping, the
+// lender choice the borrow collision rate). Nil axes select every
+// registered policy; nil schemes select the non-adaptive baselines.
+func PolicySweep(env Env, preds, lends []policy.Spec, schemes []string) (PolicySweepResult, error) {
+	if preds == nil && lends == nil {
+		preds, lends = defaultPolicyAxes()
+	}
+	if len(preds) == 0 {
+		preds = []policy.Spec{{Name: "linear"}}
+	}
+	if len(lends) == 0 {
+		lends = []policy.Spec{{Name: "best"}}
+	}
+	if schemes == nil {
+		for _, s := range Schemes() {
+			if s != "adaptive" {
+				schemes = append(schemes, s)
+			}
+		}
+	}
+	g := gridOf(env)
+	prim := env.PrimariesPerCell()
+	profile := traffic.NewHotspot(g, g.InteriorCell(), 1,
+		env.RatePerCell(0.35*prim), env.RatePerCell(1.1*prim))
+
+	res := PolicySweepResult{
+		Title: "policy lab — predictor x lender-strategy x scheme (clustered hot spot)",
+	}
+	var specs []spec
+	var rows []PolicyRow
+	for _, ps := range preds {
+		pb, err := policy.BuildPredictor(ps)
+		if err != nil {
+			return PolicySweepResult{}, err
+		}
+		res.Predictors = append(res.Predictors, ps.String())
+		for _, ls := range lends {
+			st, err := policy.BuildStrategy(ls)
+			if err != nil {
+				return PolicySweepResult{}, err
+			}
+			e := env
+			p := env.AdaptiveParams()
+			p.Predictor = pb
+			p.Strategy = st
+			e.Adaptive = p
+			specs = append(specs, spec{env: e, scheme: "adaptive", profile: profile})
+			rows = append(rows, PolicyRow{Scheme: "adaptive", Predictor: pb.Name(), Lender: st.Name()})
+		}
+	}
+	for _, ls := range lends {
+		res.Lenders = append(res.Lenders, ls.String())
+	}
+	for _, scheme := range schemes {
+		specs = append(specs, spec{env: env, scheme: scheme, profile: profile})
+		rows = append(rows, PolicyRow{Scheme: scheme})
+	}
+	res.Schemes = schemes
+	ms, err := runSpecs(env.workers(), specs)
+	if err != nil {
+		return PolicySweepResult{}, err
+	}
+	for i := range rows {
+		rows[i].Measured = ms[i]
+	}
+	res.Rows = rows
+	return res, nil
+}

@@ -1,0 +1,108 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistriesCoverTheLab(t *testing.T) {
+	if got := len(Predictors()); got < 4 {
+		t.Fatalf("expected >= 4 registered predictors, got %d: %v", got, Predictors())
+	}
+	if got := len(Strategies()); got < 5 {
+		t.Fatalf("expected >= 5 registered strategies, got %d: %v", got, Strategies())
+	}
+	for _, name := range Predictors() {
+		if PredictorHelp()[name] == "" {
+			t.Errorf("predictor %q has no help line", name)
+		}
+		pb, err := BuildPredictor(Spec{Name: name})
+		if err != nil {
+			t.Errorf("BuildPredictor(%q): %v", name, err)
+		} else if pb.Name() != name {
+			t.Errorf("predictor %q reports name %q", name, pb.Name())
+		}
+	}
+	for _, name := range Strategies() {
+		if StrategyHelp()[name] == "" {
+			t.Errorf("strategy %q has no help line", name)
+		}
+		st, err := BuildStrategy(Spec{Name: name})
+		if err != nil {
+			t.Errorf("BuildStrategy(%q): %v", name, err)
+		} else if st.Name() != name {
+			t.Errorf("strategy %q reports name %q", name, st.Name())
+		}
+	}
+}
+
+func TestZeroSpecSelectsDefaults(t *testing.T) {
+	pb, err := BuildPredictor(Spec{})
+	if err != nil || pb.Name() != "linear" {
+		t.Fatalf("zero predictor spec -> (%v, %v), want linear", pb, err)
+	}
+	st, err := BuildStrategy(Spec{})
+	if err != nil || st.Name() != "best" {
+		t.Fatalf("zero strategy spec -> (%v, %v), want best", st, err)
+	}
+}
+
+func TestUnknownNamesListTheRegistry(t *testing.T) {
+	if _, err := BuildPredictor(Spec{Name: "oracle"}); err == nil {
+		t.Fatal("unknown predictor accepted")
+	} else if !strings.Contains(err.Error(), "linear") || !strings.Contains(err.Error(), "ewma") {
+		t.Fatalf("unknown-predictor error does not list the registry: %v", err)
+	}
+	if _, err := BuildStrategy(Spec{Name: "greedy"}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	} else if !strings.Contains(err.Error(), "best") || !strings.Contains(err.Error(), "random") {
+		t.Fatalf("unknown-strategy error does not list the registry: %v", err)
+	}
+}
+
+func TestParameterValidation(t *testing.T) {
+	// Unknown parameter names the offender and the accepted set.
+	if _, err := BuildPredictor(Spec{Name: "ewma", Params: map[string]float64{"gamma": 0.5}}); err == nil {
+		t.Fatal("unknown parameter accepted")
+	} else if !strings.Contains(err.Error(), "gamma") || !strings.Contains(err.Error(), "alpha") {
+		t.Fatalf("unknown-parameter error unhelpful: %v", err)
+	}
+	// Parameter on a parameterless policy says so.
+	if _, err := BuildPredictor(Spec{Name: "linear", Params: map[string]float64{"alpha": 0.5}}); err == nil {
+		t.Fatal("parameter on parameterless predictor accepted")
+	} else if !strings.Contains(err.Error(), "no parameters") {
+		t.Fatalf("parameterless error unhelpful: %v", err)
+	}
+	// Out-of-range value names the bounds.
+	if _, err := BuildPredictor(Spec{Name: "ewma", Params: map[string]float64{"alpha": 1.5}}); err == nil {
+		t.Fatal("out-of-range alpha accepted")
+	} else if !strings.Contains(err.Error(), "alpha") || !strings.Contains(err.Error(), "1.5") {
+		t.Fatalf("range error unhelpful: %v", err)
+	}
+	// In-range values build.
+	if _, err := BuildPredictor(Spec{Name: "damped-trend",
+		Params: map[string]float64{"alpha": 0.4, "beta": 0.1, "phi": 0.5}}); err != nil {
+		t.Fatalf("valid damped-trend rejected: %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec("ewma,alpha=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "ewma" || s.Params["alpha"] != 0.2 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if s.String() != "ewma,alpha=0.2" {
+		t.Fatalf("round trip = %q", s.String())
+	}
+	if s, err := ParseSpec("best"); err != nil || s.Name != "best" || s.Params != nil {
+		t.Fatalf("bare name parse -> (%+v, %v)", s, err)
+	}
+	for _, bad := range []string{"", ",alpha=1", "ewma,alpha", "ewma,alpha=x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

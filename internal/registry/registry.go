@@ -54,8 +54,12 @@ func Build(name string, grid *hexgrid.Grid, assign *chanset.Assignment, cfg Conf
 	switch name {
 	case "adaptive":
 		p := cfg.Adaptive
-		if p == (core.Params{}) {
-			p = core.DefaultParams(cfg.Latency)
+		if p.Tuning() == (core.Params{}) {
+			// No scalar tuning set: derive the defaults for this latency,
+			// keeping any predictor/strategy policy overrides in place.
+			d := core.DefaultParams(cfg.Latency)
+			d.Predictor, d.Strategy = p.Predictor, p.Strategy
+			p = d
 		}
 		fac, err := core.NewFactory(grid, assign, p)
 		if err != nil {

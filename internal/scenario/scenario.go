@@ -9,6 +9,8 @@
 //	  "latency_ticks": 10,
 //	  "seed": 1,
 //	  "adaptive": {"theta_low": 1, "theta_high": 3, "alpha": 3, "window_ticks": 500},
+//	  "predictor": {"name": "ewma", "params": {"alpha": 0.2}},
+//	  "lender": {"name": "interference-aware"},
 //	  "workload": {
 //	    "erlang_per_cell": 6,
 //	    "mean_hold_ticks": 3000,
@@ -34,6 +36,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"repro/internal/policy"
 )
 
 // Grid is the JSON grid block.
@@ -50,6 +54,21 @@ type Adaptive struct {
 	ThetaHigh   float64 `json:"theta_high"`
 	Alpha       int     `json:"alpha"`
 	WindowTicks int64   `json:"window_ticks"`
+}
+
+// Policy is the JSON form of one pluggable adaptive policy: a
+// registered name plus optional numeric parameters. Used by the
+// "predictor" and "lender" blocks:
+//
+//	"predictor": {"name": "ewma", "params": {"alpha": 0.2}},
+//	"lender": {"name": "interference-aware"}
+//
+// Names and parameters validate against internal/policy's registry, so
+// a typo fails the load with the accepted names instead of silently
+// running the default.
+type Policy struct {
+	Name   string             `json:"name"`
+	Params map[string]float64 `json:"params"`
 }
 
 // Hotspot is the JSON hotspot block.
@@ -115,6 +134,8 @@ type Scenario struct {
 	Seed         uint64    `json:"seed"`
 	MaxRounds    int       `json:"max_rounds"`
 	Adaptive     *Adaptive `json:"adaptive"`
+	Predictor    *Policy   `json:"predictor"`
+	Lender       *Policy   `json:"lender"`
 	Workload     *Workload `json:"workload"`
 	Fault        *Fault    `json:"fault"`
 }
@@ -186,6 +207,16 @@ func (sc Scenario) Validate() error {
 			if d.PeriodTicks <= 0 {
 				return fmt.Errorf("diurnal period_ticks must be > 0, got %d", d.PeriodTicks)
 			}
+		}
+	}
+	if p := sc.Predictor; p != nil {
+		if _, err := policy.BuildPredictor(policy.Spec{Name: p.Name, Params: p.Params}); err != nil {
+			return fmt.Errorf("predictor: %w", err)
+		}
+	}
+	if l := sc.Lender; l != nil {
+		if _, err := policy.BuildStrategy(policy.Spec{Name: l.Name, Params: l.Params}); err != nil {
+			return fmt.Errorf("lender: %w", err)
 		}
 	}
 	if f := sc.Fault; f != nil {

@@ -188,3 +188,60 @@ func TestShippedScenariosLoad(t *testing.T) {
 		}
 	}
 }
+
+func TestLoadPolicyBlocks(t *testing.T) {
+	p := write(t, `{
+		"scheme": "adaptive",
+		"predictor": {"name": "ewma", "params": {"alpha": 0.2}},
+		"lender": {"name": "interference-aware"}
+	}`)
+	sc, err := Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Predictor == nil || sc.Predictor.Name != "ewma" || sc.Predictor.Params["alpha"] != 0.2 {
+		t.Fatalf("predictor block: %+v", sc.Predictor)
+	}
+	if sc.Lender == nil || sc.Lender.Name != "interference-aware" {
+		t.Fatalf("lender block: %+v", sc.Lender)
+	}
+}
+
+func TestValidatePolicyBlocks(t *testing.T) {
+	if _, err := Load(write(t, `{"predictor": {"name": "oracle"}}`)); err == nil {
+		t.Fatal("unknown predictor name must be rejected")
+	} else if !strings.Contains(err.Error(), "oracle") || !strings.Contains(err.Error(), "linear") {
+		t.Fatalf("predictor error does not list the registry: %v", err)
+	}
+	if _, err := Load(write(t, `{"lender": {"name": "greedy"}}`)); err == nil {
+		t.Fatal("unknown lender name must be rejected")
+	} else if !strings.Contains(err.Error(), "greedy") || !strings.Contains(err.Error(), "best") {
+		t.Fatalf("lender error does not list the registry: %v", err)
+	}
+	if _, err := Load(write(t, `{"predictor": {"name": "ewma", "params": {"alpha": 9}}}`)); err == nil {
+		t.Fatal("out-of-range parameter must be rejected")
+	} else if !strings.Contains(err.Error(), "alpha") {
+		t.Fatalf("parameter error unhelpful: %v", err)
+	}
+}
+
+func TestCheckedInScenariosLoad(t *testing.T) {
+	files, err := filepath.Glob("../../scenarios/*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no checked-in scenarios found: %v", err)
+	}
+	var sawPolicy bool
+	for _, f := range files {
+		sc, err := Load(f)
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if sc.Predictor != nil || sc.Lender != nil {
+			sawPolicy = true
+		}
+	}
+	if !sawPolicy {
+		t.Error("no checked-in scenario exercises the predictor/lender blocks")
+	}
+}
