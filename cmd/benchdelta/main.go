@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -34,8 +35,14 @@ func main() {
 		currentPath  = flag.String("current", "BENCH_ci.json", "freshly measured report")
 		threshold    = flag.Float64("threshold", 0.20, "relative regression tolerated (0.20 = 20%)")
 		strict       = flag.Bool("strict", false, "fail on timing regressions too, not just allocations")
+		only         = flag.String("only", "", "check only these comma-separated sections ("+strings.Join(experiments.BenchSections, ",")+")")
 	)
 	flag.Parse()
+	want, err := experiments.ParseSections(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	base := load(*baselinePath)
 	cur := load(*currentPath)
 
@@ -59,21 +66,30 @@ func main() {
 	}
 
 	fmt.Printf("benchdelta: %s vs %s (threshold %.0f%%)\n", *baselinePath, *currentPath, 100**threshold)
-	check("ns/event", base.Kernel.NsPerEvent, cur.Kernel.NsPerEvent, false)
-	check("allocs/event", base.Kernel.AllocsPerEvent, cur.Kernel.AllocsPerEvent, true)
-	check("bytes/event", base.Kernel.BytesPerEvent, cur.Kernel.BytesPerEvent, true)
-	check("sweep seq seconds", base.Sweep.SeqSeconds, cur.Sweep.SeqSeconds, false)
+	if want["kernel"] {
+		check("ns/event", base.Kernel.NsPerEvent, cur.Kernel.NsPerEvent, false)
+		check("allocs/event", base.Kernel.AllocsPerEvent, cur.Kernel.AllocsPerEvent, true)
+		check("bytes/event", base.Kernel.BytesPerEvent, cur.Kernel.BytesPerEvent, true)
+	}
+	if want["sweep"] {
+		check("sweep seq seconds", base.Sweep.SeqSeconds, cur.Sweep.SeqSeconds, false)
+	}
 	// Network metrics are soft even for allocations: the live runtime's
 	// per-message counts depend on goroutine scheduling (batch sizes,
 	// retransmit timers), so they are not reproducible the way the
 	// single-threaded DES kernel's are.
-	check("net ns/message", base.Network.NsPerMessage, cur.Network.NsPerMessage, false)
-	check("net allocs/message", base.Network.AllocsPerMessage, cur.Network.AllocsPerMessage, false)
-	check("net ns/borrow-round", base.Network.NsPerBorrowRound, cur.Network.NsPerBorrowRound, false)
-	if !checkParallel(base, cur) {
+	if want["network"] {
+		check("net ns/message", base.Network.NsPerMessage, cur.Network.NsPerMessage, false)
+		check("net allocs/message", base.Network.AllocsPerMessage, cur.Network.AllocsPerMessage, false)
+		check("net ns/borrow-round", base.Network.NsPerBorrowRound, cur.Network.NsPerBorrowRound, false)
+	}
+	if want["parallel"] && !checkParallel(base, cur) {
 		failed = true
 	}
-	if !checkPolicies(base, cur) {
+	if want["policies"] && !checkPolicies(base, cur) {
+		failed = true
+	}
+	if want["scale"] && !checkScale(base, cur, *threshold, *strict) {
 		failed = true
 	}
 	if failed {
@@ -186,6 +202,98 @@ func checkPolicies(base, cur experiments.BenchReport) bool {
 					r.Predictor, r.Lender, h, r.Hash)
 			}
 		}
+	}
+	return ok
+}
+
+// maxRoutesPerShard bounds the cross-shard routes any shard may
+// materialise at the report's highest shard count: row-band tiles on a
+// wrapped lattice touch a handful of adjacent bands, never O(shards).
+const maxRoutesPerShard = 10
+
+// checkScale validates the giant-grid section. Its gates mirror
+// checkParallel's and are hard regardless of -strict:
+//
+//   - every (shards, workers) run's trajectory hash must equal its
+//     grid's — partitioning and worker count must not change the
+//     simulation;
+//   - when the baseline has the same grid at the same workload length
+//     (Quick flags match), the hash must be unchanged;
+//   - the per-shard cross-shard route count must stay below a small
+//     constant — the sparse-routing guarantee read off the artifact;
+//   - bytes-per-cell regressions beyond the threshold fail hard:
+//     construction footprint is GC-settled heap, deterministic the way
+//     the serial kernel's allocation counts are.
+//
+// Events/sec is timing, so it only warns unless -strict.
+func checkScale(base, cur experiments.BenchReport, threshold float64, strict bool) bool {
+	ok := true
+	fail := func(format string, args ...any) {
+		fmt.Printf("  scale: FAIL "+format+"\n", args...)
+		ok = false
+	}
+	baseGrids := make(map[string]experiments.ScaleGridBench)
+	for _, g := range base.Scale.Grids {
+		baseGrids[g.Grid] = g
+	}
+	for _, g := range cur.Scale.Grids {
+		shardCounts := make(map[int]bool)
+		workerCounts := make(map[int]bool)
+		for _, r := range g.Runs {
+			shardCounts[r.Shards] = true
+			workerCounts[r.Workers] = true
+			if r.Hash != g.Hash {
+				fail("%s shards=%d workers=%d trajectory hash %.12s != grid hash %.12s (determinism broken)",
+					g.Grid, r.Shards, r.Workers, r.Hash, g.Hash)
+			}
+		}
+		if len(shardCounts) < 2 || len(workerCounts) < 2 {
+			fail("%s covers %d shard counts and %d worker counts; need >= 2 of each to pin determinism",
+				g.Grid, len(shardCounts), len(workerCounts))
+		}
+		if g.MaxRoutesPerShard > maxRoutesPerShard {
+			fail("%s max routes per shard %d > %d (cross-shard routing no longer sparse)",
+				g.Grid, g.MaxRoutesPerShard, maxRoutesPerShard)
+		}
+		bg, found := baseGrids[g.Grid]
+		if found && base.Quick == cur.Quick && bg.Hash != g.Hash {
+			fail("%s trajectory hash drifted %.12s -> %.12s (simulation outcome changed)",
+				g.Grid, bg.Hash, g.Hash)
+		}
+		if found && bg.BytesPerCell > 0 {
+			delta := g.BytesPerCell/bg.BytesPerCell - 1
+			status := "ok"
+			if delta > threshold {
+				status = "FAIL"
+				ok = false
+			}
+			fmt.Printf("  %-22s %10.4g -> %10.4g  (%+.1f%%)  %s\n",
+				"scale "+g.Grid+" B/cell", bg.BytesPerCell, g.BytesPerCell, 100*delta, status)
+		}
+		if n := len(g.Runs); n > 0 {
+			first := g.Runs[0]
+			status := "ok"
+			if found && base.Quick == cur.Quick {
+				for _, br := range bg.Runs {
+					if br.Shards != first.Shards || br.Workers != first.Workers || br.EventsPerSec <= 0 {
+						continue
+					}
+					if delta := first.EventsPerSec/br.EventsPerSec - 1; delta < -threshold {
+						if strict {
+							status = "FAIL"
+							ok = false
+						} else {
+							status = "warn"
+						}
+					}
+				}
+			}
+			fmt.Printf("  %-22s %10.4g ev/s, %d runs, peak RSS %.1f GiB  %s\n",
+				"scale "+g.Grid, first.EventsPerSec, n, float64(g.PeakRSSBytes)/(1<<30), status)
+		}
+	}
+	if len(cur.Scale.Grids) == 0 && len(base.Scale.Grids) > 0 {
+		fail("section missing from current report but present in baseline")
 	}
 	return ok
 }

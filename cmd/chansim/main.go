@@ -24,10 +24,12 @@
 // Performance: -bench runs the measurement harness instead of a
 // scenario and emits a BENCH_*.json document (per-event kernel cost,
 // sweep wall-clock, the live-network message path over loopback TCP,
-// and the sharded parallel kernel's scaling on 50x50, mobile 50x50 and
-// 100x100 grids with per-run trajectory hashes; see DESIGN.md §9 and
-// §9.5). -bench-quick shrinks the workload for CI smoke; -bench-out
-// writes the JSON to a file; -workers bounds the sweep pool.
+// the sharded parallel kernel's scaling on 50x50, mobile 50x50 and
+// 100x100 grids, and giant-grid scale on 500x500/1000x1000 lattices,
+// all with per-run trajectory hashes; see DESIGN.md §9, §9.5 and
+// §9.6). -bench-quick shrinks the workload for CI smoke; -bench-only
+// selects sections; -bench-out writes the JSON to a file; -workers
+// bounds the sweep pool.
 package main
 
 import (
@@ -72,11 +74,12 @@ func main() {
 		bench      = flag.Bool("bench", false, "run the performance harness instead of a scenario; emit JSON")
 		benchQuick = flag.Bool("bench-quick", false, "with -bench: shorter runs (CI smoke)")
 		benchOut   = flag.String("bench-out", "", "with -bench: write the JSON here instead of stdout")
+		benchOnly  = flag.String("bench-only", "", "with -bench: run only these comma-separated sections ("+strings.Join(experiments.BenchSections, ",")+")")
 		workers    = flag.Int("workers", 0, "with -bench: sweep pool width; with -shards: kernel worker goroutines (0 = NumCPU)")
 	)
 	flag.Parse()
 	if *bench {
-		runBench(*workers, *benchQuick, *benchOut)
+		runBench(*workers, *benchQuick, *benchOnly, *benchOut)
 		return
 	}
 	if *height == 0 {
@@ -276,8 +279,8 @@ func printReport(scheme string, ws adca.WorkloadStats, st adca.Stats, latencyTic
 }
 
 // runBench drives the measurement harness and writes the JSON report.
-func runBench(workers int, quick bool, out string) {
-	rep, err := experiments.RunBench(workers, quick)
+func runBench(workers int, quick bool, only, out string) {
+	rep, err := experiments.RunBenchOnly(workers, quick, only)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

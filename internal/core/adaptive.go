@@ -212,6 +212,15 @@ type deferred struct {
 }
 
 // Adaptive is one cell's adaptive allocator.
+//
+// Per-neighbor knowledge (U_j, UpdateS_i, grant records, response
+// collection) is stored in neighbor-index order over the cell's sorted
+// interference list rather than in maps keyed by cell id: a map entry
+// costs ~50 bytes of bucket overhead per neighbor per cell, which at
+// 10^6 cells × 18 neighbors dominates steady-state memory, while a
+// binary search over ≤ 18 sorted ids costs a handful of compares on
+// paths that were already doing a hash. Cold state (grant records,
+// lender-candidate scratch) materializes lazily on first use.
 type Adaptive struct {
 	factory *Factory
 	cell    hexgrid.CellID
@@ -220,22 +229,25 @@ type Adaptive struct {
 	neighbors []hexgrid.CellID
 	spectrum  chanset.Set
 	pr        chanset.Set
-	clock     *lamport.Clock
+	clock     lamport.Clock
 
 	// Use_i and per-neighbor knowledge.
-	use   chanset.Set
-	u     map[hexgrid.CellID]chanset.Set // U_j as known to this cell
-	iCnt  []int16                        // per-channel count of neighbors believed to use it
-	inter chanset.Set                    // I_i: bit set iff iCnt > 0
-	// granted[j] holds channels we granted to j that j has not yet
-	// visibly acquired or released. A borrowing-update winner acquires
-	// silently (Figure 3, mode 2), so a Use-set snapshot taken by j
-	// between our grant and its acquisition would otherwise erase the
-	// channel from U_j and let us reuse it concurrently (DESIGN.md D9).
-	granted map[hexgrid.CellID]chanset.Set
+	use chanset.Set
+	// u[k] is U_j for j = neighbors[k], all windowed into one flat
+	// backing array (two allocations per cell, not one per neighbor).
+	u     []chanset.Set
+	iCnt  []int16 // per-channel count of neighbors believed to use it
+	inter chanset.Set // I_i: bit set iff iCnt > 0
+	// granted[k] holds channels we granted to neighbors[k] that it has
+	// not yet visibly acquired or released. A borrowing-update winner
+	// acquires silently (Figure 3, mode 2), so a Use-set snapshot taken
+	// by j between our grant and its acquisition would otherwise erase
+	// the channel from U_j and let us reuse it concurrently (DESIGN.md
+	// D9). nil until the cell first grants anything.
+	granted []chanset.Set
 
 	mode    int
-	updateS map[hexgrid.CellID]bool // UpdateS_i
+	updateS []bool // UpdateS_i, by neighbor index
 	deferQ  []deferred
 	waiting int
 	pending bool
@@ -248,7 +260,9 @@ type Adaptive struct {
 	strategy LenderStrategy
 	// cands and candSets back best()'s candidate list so building it
 	// stays allocation-free: one reusable LenderCandidate slot and one
-	// reusable free-primaries set per interference neighbor.
+	// reusable free-primaries set per interference neighbor. candSets
+	// materializes on the first borrow attempt — cells that never
+	// borrow never pay for it.
 	cands    []LenderCandidate
 	candSets []chanset.Set
 
@@ -257,8 +271,11 @@ type Adaptive struct {
 	// reqBuf backs req: one request is in flight at a time, so the FSM
 	// state is reused across requests instead of allocated per request.
 	reqBuf request
-	// awaitBuf backs request.awaiting across phases for the same reason.
-	awaitBuf map[hexgrid.CellID]bool
+	// await/awaitN track which neighbors the active request phase still
+	// needs a response from (by neighbor index). One phase collects at a
+	// time, so the mask is shared across phases and requests.
+	await  []bool
+	awaitN int
 	// scratch holds the result of freePrimary/freeAnywhere; reusing one
 	// buffer keeps those per-dispatch set computations allocation-free.
 	scratch chanset.Set
@@ -273,27 +290,57 @@ func (a *Adaptive) Start(env alloc.Env) {
 	a.neighbors = env.Neighbors()
 	a.spectrum = a.factory.assign.Spectrum
 	a.pr = a.factory.assign.Primary[a.cell]
-	a.clock = lamport.NewClock(int32(a.cell))
+	a.clock = *lamport.NewClock(int32(a.cell))
 	n := a.factory.assign.NumChannels
 	a.use = chanset.NewSet(n)
-	a.u = make(map[hexgrid.CellID]chanset.Set, len(a.neighbors))
-	for _, j := range a.neighbors {
-		a.u[j] = chanset.NewSet(n)
-	}
+	a.u = a.neighborSets()
 	a.iCnt = make([]int16, n)
 	a.inter = chanset.NewSet(n)
 	a.scratch = chanset.NewSet(n)
-	a.granted = make(map[hexgrid.CellID]chanset.Set)
-	a.updateS = make(map[hexgrid.CellID]bool)
+	a.updateS = make([]bool, len(a.neighbors))
+	a.await = make([]bool, len(a.neighbors))
 	a.pred = a.factory.params.predictorBuilder().New(a.factory.params.Window)
 	a.pred.Init(env.Now(), a.pr.Len())
 	a.strategy = a.factory.params.lenderStrategy()
-	a.cands = make([]LenderCandidate, 0, len(a.neighbors))
-	a.candSets = make([]chanset.Set, len(a.neighbors))
-	for i := range a.candSets {
-		a.candSets[i] = chanset.NewSet(n)
-	}
 	a.serial.SetStart(a.startRequest)
+}
+
+// neighborSets returns one zeroed channel set per interference
+// neighbor, all windowed (capacity-capped) into a single flat backing
+// array: two allocations total instead of one per neighbor.
+func (a *Adaptive) neighborSets() []chanset.Set {
+	w := (a.factory.assign.NumChannels + 63) / 64
+	back := make([]uint64, w*len(a.neighbors))
+	sets := make([]chanset.Set, len(a.neighbors))
+	for i := range sets {
+		sets[i] = chanset.FromWords(back[i*w : (i+1)*w : (i+1)*w])
+	}
+	return sets
+}
+
+// nbrIdx returns j's index in the sorted interference list, or -1 when
+// j is not a neighbor of this cell.
+func (a *Adaptive) nbrIdx(j hexgrid.CellID) int {
+	lo, hi := 0, len(a.neighbors)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.neighbors[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(a.neighbors) && a.neighbors[lo] == j {
+		return lo
+	}
+	return -1
+}
+
+// isUpdateS reports whether j is known to be in borrowing mode
+// (UpdateS_i membership); false for non-neighbors.
+func (a *Adaptive) isUpdateS(j hexgrid.CellID) bool {
+	idx := a.nbrIdx(j)
+	return idx >= 0 && a.updateS[idx]
 }
 
 // Request implements alloc.Allocator.
@@ -341,22 +388,22 @@ func (a *Adaptive) addU(j hexgrid.CellID, ch chanset.Channel) {
 	if !ch.Valid() {
 		return
 	}
-	uj, ok := a.u[j]
-	if !ok || uj.Contains(ch) {
+	idx := a.nbrIdx(j)
+	if idx < 0 || a.u[idx].Contains(ch) {
 		return
 	}
-	uj.Add(ch)
+	a.u[idx].Add(ch)
 	a.iCnt[ch]++
 	a.inter.Add(ch)
 }
 
 // removeU records that neighbor j no longer uses channel ch.
 func (a *Adaptive) removeU(j hexgrid.CellID, ch chanset.Channel) {
-	uj, ok := a.u[j]
-	if !ok || !uj.Contains(ch) {
+	idx := a.nbrIdx(j)
+	if idx < 0 || !a.u[idx].Contains(ch) {
 		return
 	}
-	uj.Remove(ch)
+	a.u[idx].Remove(ch)
 	a.iCnt[ch]--
 	if a.iCnt[ch] <= 0 {
 		a.iCnt[ch] = 0
@@ -364,34 +411,48 @@ func (a *Adaptive) removeU(j hexgrid.CellID, ch chanset.Channel) {
 	}
 }
 
-// grantRecord marks ch as granted to j (pending acquisition).
+// grantRecord marks ch as granted to j (pending acquisition),
+// materializing the per-neighbor grant sets on the cell's first grant.
 func (a *Adaptive) grantRecord(j hexgrid.CellID, ch chanset.Channel) {
-	g, ok := a.granted[j]
-	if !ok {
-		g = chanset.NewSet(a.factory.assign.NumChannels)
-		a.granted[j] = g
+	idx := a.nbrIdx(j)
+	if idx < 0 {
+		return // requests only arrive from neighbors
 	}
-	g.Add(ch)
-	a.granted[j] = g
+	if a.granted == nil {
+		a.granted = a.neighborSets()
+	}
+	a.granted[idx].Add(ch)
+}
+
+// grantedOf returns the grant-record set for neighbor index idx; the
+// zero (empty) set when the cell has never granted anything.
+func (a *Adaptive) grantedOf(idx int) chanset.Set {
+	if a.granted == nil {
+		return chanset.Set{}
+	}
+	return a.granted[idx]
 }
 
 // grantResolve clears a pending grant record: j either acquired ch
 // visibly (snapshot/ACQUISITION) or released it.
 func (a *Adaptive) grantResolve(j hexgrid.CellID, ch chanset.Channel) {
-	if g, ok := a.granted[j]; ok {
-		g.Remove(ch)
-		a.granted[j] = g
+	if a.granted == nil {
+		return
+	}
+	if idx := a.nbrIdx(j); idx >= 0 {
+		a.granted[idx].Remove(ch)
 	}
 }
 
 // replaceU replaces the whole U_j with the received snapshot, preserving
 // channels we granted to j that j has not yet visibly acquired.
 func (a *Adaptive) replaceU(j hexgrid.CellID, snapshot chanset.Set) {
-	old, ok := a.u[j]
-	if !ok {
+	idx := a.nbrIdx(j)
+	if idx < 0 {
 		return // not an interference neighbor; ignore
 	}
-	if g, ok := a.granted[j]; ok && !g.Empty() {
+	old := a.u[idx]
+	if g := a.grantedOf(idx); !g.Empty() {
 		// Channels now visible in j's snapshot are owned by j; the
 		// snapshot stream governs them from here on. grantResolve removes
 		// the current channel from g, which the Next cursor permits.
@@ -401,7 +462,7 @@ func (a *Adaptive) replaceU(j hexgrid.CellID, snapshot chanset.Set) {
 			}
 		}
 		// Still-pending grants are unioned into the effective snapshot.
-		snapshot = chanset.Union(snapshot, a.granted[j])
+		snapshot = chanset.Union(snapshot, g)
 	}
 	// removeU deletes the current channel from old (= a.u[j]) while the
 	// cursor walks it — safe: Next only scans bits above the cursor.

@@ -83,7 +83,7 @@ func TestHandlerUpdateRequestGrantWhenFree(t *testing.T) {
 	if !a.inter.Contains(9) {
 		t.Fatal("granted channel must enter I_i")
 	}
-	if g := a.granted[1]; !g.Contains(9) {
+	if g := a.grantedOf(a.nbrIdx(1)); !g.Contains(9) {
 		t.Fatal("granted channel must be recorded in the D9 overlay")
 	}
 }
@@ -99,7 +99,7 @@ func TestHandlerUpdateRequestRejectWhenInUse(t *testing.T) {
 	if len(ms) != 1 || ms[0].Res != message.ResReject {
 		t.Fatalf("expected reject for in-use channel, got %v", ms)
 	}
-	if a.granted[1].Contains(ch) {
+	if a.grantedOf(a.nbrIdx(1)).Contains(ch) {
 		t.Fatal("rejected channel must not enter the grant overlay")
 	}
 }
@@ -146,12 +146,12 @@ func TestHandlerChangeModeTracksUpdateS(t *testing.T) {
 	if len(ms) != 1 || ms[0].Res != message.ResStatus {
 		t.Fatalf("expected status response, got %v", ms)
 	}
-	if !a.updateS[3] {
+	if !a.isUpdateS(3) {
 		t.Fatal("sender must join UpdateS")
 	}
 	a.Handle(message.Message{Kind: message.ChangeMode, Mode: message.ModeLocal, From: 3, To: 0})
 	env.take()
-	if a.updateS[3] {
+	if a.isUpdateS(3) {
 		t.Fatal("sender must leave UpdateS")
 	}
 }
@@ -165,7 +165,7 @@ func TestHandlerReleaseClearsInterference(t *testing.T) {
 	if a.inter.Contains(9) {
 		t.Fatal("release must clear I_i")
 	}
-	if a.granted[1].Contains(9) {
+	if a.grantedOf(a.nbrIdx(1)).Contains(9) {
 		t.Fatal("release must clear the grant overlay")
 	}
 }
@@ -186,7 +186,7 @@ func TestHandlerStatusSnapshotCannotEraseGrant(t *testing.T) {
 	// later snapshots govern.
 	a.Handle(message.Message{Kind: message.Response, Res: message.ResStatus, From: 1, To: 0,
 		Use: chanset.SetOf(9)})
-	if a.granted[1].Contains(9) {
+	if a.grantedOf(a.nbrIdx(1)).Contains(9) {
 		t.Fatal("overlay should resolve when the snapshot shows the channel")
 	}
 	a.Handle(message.Message{Kind: message.Response, Res: message.ResStatus, From: 1, To: 0,

@@ -31,7 +31,9 @@ const (
 )
 
 // request is the in-flight channel request (at most one per station;
-// additional arrivals queue in the Serial).
+// additional arrivals queue in the Serial). The set of neighbors the
+// active phase is still awaiting lives on the Adaptive (await/awaitN):
+// only one phase collects responses at a time.
 type request struct {
 	id alloc.RequestID
 	// ts is assigned once and kept across retries, exactly as the
@@ -41,7 +43,6 @@ type request struct {
 	ts       lamport.Stamp
 	ph       phase
 	ch       chanset.Channel // candidate channel in phaseGrants
-	awaiting map[hexgrid.CellID]bool
 	granted  []hexgrid.CellID
 	rejected bool
 }
@@ -55,14 +56,14 @@ const (
 
 // startRequest is the Serial's start hook: a fresh request begins. The
 // FSM state lives in a.reqBuf — one request is in flight per station at
-// a time, so the struct (and its granted slice and awaiting map) is
-// recycled instead of allocated per request.
+// a time, so the struct (and its granted slice) is recycled instead of
+// allocated per request.
 func (a *Adaptive) startRequest(id alloc.RequestID) {
 	a.env.Began(id)
 	r := &a.reqBuf
 	*r = request{
 		id: id, ts: a.clock.Tick(), ch: chanset.NoChannel,
-		granted: r.granted[:0], awaiting: r.awaiting,
+		granted: r.granted[:0],
 	}
 	a.req = r
 	a.dispatch()
@@ -100,8 +101,8 @@ func (a *Adaptive) dispatch() {
 			a.forceBorrow()
 		}
 		r.ph = phaseStatus
-		r.awaiting = a.awaitAll()
-		if len(r.awaiting) == 0 {
+		a.awaitAll()
+		if a.awaitN == 0 {
 			a.dispatchBorrow()
 		}
 		return
@@ -165,13 +166,13 @@ func (a *Adaptive) dispatchBorrow() {
 		}
 		r.ph = phaseGrants
 		r.ch = ch
-		r.awaiting = a.awaitAll()
+		a.awaitAll()
 		r.granted = r.granted[:0]
 		r.rejected = false
 		broadcast(a, message.Message{
 			Kind: message.Request, Req: message.ReqUpdate, Ch: ch, TS: r.ts,
 		})
-		if len(r.awaiting) == 0 {
+		if a.awaitN == 0 {
 			a.completeGrants()
 		}
 		return
@@ -186,11 +187,11 @@ func (a *Adaptive) dispatchBorrow() {
 			obs.FI("round", int64(a.rounds)))
 	}
 	r.ph = phaseSearch
-	r.awaiting = a.awaitAll()
+	a.awaitAll()
 	broadcast(a, message.Message{
 		Kind: message.Request, Req: message.ReqSearch, Ch: chanset.NoChannel, TS: r.ts,
 	})
-	if len(r.awaiting) == 0 {
+	if a.awaitN == 0 {
 		a.completeSearch()
 	}
 }
@@ -285,8 +286,8 @@ func (a *Adaptive) acquire(ch chanset.Channel) {
 	switch a.mode {
 	case ModeLocal, ModeBorrow:
 		// Only neighbors currently in borrowing mode track our usage.
-		for _, j := range a.neighbors { // deterministic order
-			if a.updateS[j] {
+		for k, j := range a.neighbors { // deterministic order
+			if a.updateS[k] {
 				a.env.Send(message.Message{
 					Kind: message.Acquisition, Acq: message.AcqNonSearch,
 					From: a.cell, To: j, Ch: ch,
@@ -369,8 +370,8 @@ func (a *Adaptive) Release(ch chanset.Channel) error {
 	a.use.Remove(ch)
 	if a.mode == ModeLocal && a.pr.Contains(ch) {
 		// A primary release matters only to borrowing neighbors.
-		for _, j := range a.neighbors {
-			if a.updateS[j] {
+		for k, j := range a.neighbors {
+			if a.updateS[k] {
 				a.env.Send(message.Message{
 					Kind: message.Release, From: a.cell, To: j, Ch: ch,
 				})
@@ -521,7 +522,7 @@ func (a *Adaptive) onResponse(m message.Message) {
 	r := a.req
 	switch m.Res {
 	case message.ResGrant, message.ResReject:
-		if r == nil || r.ph != phaseGrants || !m.TS.Equal(r.ts) || !r.awaiting[m.From] {
+		if r == nil || r.ph != phaseGrants || !m.TS.Equal(r.ts) || !a.awaitHas(m.From) {
 			// Stale grant for an attempt we already resolved: undo the
 			// permission the responder recorded. (Unreachable while
 			// every attempt collects all responses; kept as armor.)
@@ -532,28 +533,28 @@ func (a *Adaptive) onResponse(m message.Message) {
 			}
 			return
 		}
-		delete(r.awaiting, m.From)
+		a.awaitClear(m.From)
 		if m.Res == message.ResGrant {
 			r.granted = append(r.granted, m.From)
 		} else {
 			r.rejected = true
 		}
-		if len(r.awaiting) == 0 {
+		if a.awaitN == 0 {
 			a.completeGrants()
 		}
 	case message.ResSearch:
 		a.replaceU(m.From, m.Use)
-		if r != nil && r.ph == phaseSearch && m.TS.Equal(r.ts) && r.awaiting[m.From] {
-			delete(r.awaiting, m.From)
-			if len(r.awaiting) == 0 {
+		if r != nil && r.ph == phaseSearch && m.TS.Equal(r.ts) && a.awaitHas(m.From) {
+			a.awaitClear(m.From)
+			if a.awaitN == 0 {
 				a.completeSearch()
 			}
 		}
 	case message.ResStatus:
 		a.replaceU(m.From, m.Use)
-		if r != nil && r.ph == phaseStatus && r.awaiting[m.From] {
-			delete(r.awaiting, m.From)
-			if len(r.awaiting) == 0 {
+		if r != nil && r.ph == phaseStatus && a.awaitHas(m.From) {
+			a.awaitClear(m.From)
+			if a.awaitN == 0 {
 				a.dispatch()
 			}
 		}
@@ -562,10 +563,8 @@ func (a *Adaptive) onResponse(m message.Message) {
 
 // onChangeMode is Figure 5.
 func (a *Adaptive) onChangeMode(m message.Message) {
-	if m.Mode == message.ModeLocal {
-		delete(a.updateS, m.From)
-	} else {
-		a.updateS[m.From] = true
+	if idx := a.nbrIdx(m.From); idx >= 0 {
+		a.updateS[idx] = m.Mode != message.ModeLocal
 	}
 	a.env.Send(message.Message{
 		Kind: message.Response, Res: message.ResStatus,
@@ -610,9 +609,16 @@ func (a *Adaptive) best() hexgrid.CellID {
 	if free.Empty() {
 		return hexgrid.None
 	}
+	if a.candSets == nil {
+		// First borrow attempt of this cell's lifetime: candidate sets
+		// are only needed on the (rarer) borrowing path, so the slab is
+		// deferred until then.
+		a.candSets = a.neighborSets()
+		a.cands = make([]LenderCandidate, 0, len(a.neighbors))
+	}
 	cands := a.cands[:0]
-	for _, j := range a.neighbors {
-		if a.updateS[j] {
+	for ji, j := range a.neighbors {
+		if a.updateS[ji] {
 			continue // NotBorrowing = IN_i − UpdateS_i
 		}
 		set := a.candSets[len(cands)]
@@ -624,7 +630,7 @@ func (a *Adaptive) best() hexgrid.CellID {
 		}
 		bn := 0
 		for _, k := range a.factory.grid.Interference(j) {
-			if a.updateS[k] {
+			if a.isUpdateS(k) {
 				bn++ // |UpdateS_i ∩ IN_j|
 			}
 		}
@@ -654,20 +660,30 @@ func (a *Adaptive) pickBorrow(j hexgrid.CellID) chanset.Channel {
 	return free.First()
 }
 
-// awaitAll returns the awaiting map refilled with every interference
-// neighbor. The map is owned by a.awaitBuf and shared across phases:
-// only one request phase is collecting responses at any moment.
-func (a *Adaptive) awaitAll() map[hexgrid.CellID]bool {
-	m := a.awaitBuf
-	if m == nil {
-		m = make(map[hexgrid.CellID]bool, len(a.neighbors))
-		a.awaitBuf = m
+// awaitAll marks every interference neighbor as awaited. The await
+// slice (indexed like a.neighbors) is shared across phases: only one
+// request phase is collecting responses at any moment.
+func (a *Adaptive) awaitAll() {
+	for i := range a.await {
+		a.await[i] = true
 	}
-	clear(m)
-	for _, j := range a.neighbors {
-		m[j] = true
+	a.awaitN = len(a.neighbors)
+}
+
+// awaitHas reports whether neighbor j is still awaited.
+func (a *Adaptive) awaitHas(j hexgrid.CellID) bool {
+	idx := a.nbrIdx(j)
+	return idx >= 0 && a.await[idx]
+}
+
+// awaitClear removes neighbor j from the awaited set. Callers check
+// awaitHas first, so the index is always valid here.
+func (a *Adaptive) awaitClear(j hexgrid.CellID) {
+	idx := a.nbrIdx(j)
+	if idx >= 0 && a.await[idx] {
+		a.await[idx] = false
+		a.awaitN--
 	}
-	return m
 }
 
 // broadcast sends m (From filled in) to every interference neighbor.

@@ -123,6 +123,21 @@ type parLink struct {
 	from, to hexgrid.CellID
 }
 
+// cellStat packs one cell's accumulators into a single record so the
+// per-cell state is one slab allocation and one cache line group per
+// cell instead of six parallel arrays — at 10^6 cells the layout (not
+// the byte count alone) dominates merge and grant-path locality. Grants
+// and denies are uint32: 4 billion completions per cell is far beyond
+// any run length, and the width keeps the record at 144 bytes.
+type cellStat struct {
+	acqDelay   metrics.Welford
+	totalDelay metrics.Welford
+	queueDelay metrics.Welford
+	reqCount   uint64
+	grants     uint32
+	denies     uint32
+}
+
 // Parallel is one wired sharded scenario.
 type Parallel struct {
 	grid    *hexgrid.Grid
@@ -134,13 +149,11 @@ type Parallel struct {
 	checker *trace.InterferenceChecker
 	shards  []parShard
 
-	// Per-cell state, written only by the owning shard's worker.
-	reqCount   []uint64
-	acqDelay   []metrics.Welford
-	totalDelay []metrics.Welford
-	queueDelay []metrics.Welford
-	cellGrants []uint64
-	cellDenies []uint64
+	// Per-cell accumulators, written only by the owning shard's worker.
+	cells []cellStat
+	// envs is the per-cell allocator environment slab; cell i's env is
+	// &envs[i], with its RNG stream embedded by value.
+	envs []pcellEnv
 
 	obs simObs
 }
@@ -158,18 +171,14 @@ func NewParallel(grid *hexgrid.Grid, assign *chanset.Assignment, factory alloc.F
 		return nil, err
 	}
 	p := &Parallel{
-		grid:       grid,
-		assign:     assign,
-		kernel:     sim.NewShards(opts.Shards, opts.Latency, cells),
-		part:       part,
-		opts:       opts,
-		shards:     make([]parShard, opts.Shards),
-		reqCount:   make([]uint64, cells),
-		acqDelay:   make([]metrics.Welford, cells),
-		totalDelay: make([]metrics.Welford, cells),
-		queueDelay: make([]metrics.Welford, cells),
-		cellGrants: make([]uint64, cells),
-		cellDenies: make([]uint64, cells),
+		grid:   grid,
+		assign: assign,
+		kernel: sim.NewShards(opts.Shards, opts.Latency, cells),
+		part:   part,
+		opts:   opts,
+		shards: make([]parShard, opts.Shards),
+		cells:  make([]cellStat, cells),
+		envs:   make([]pcellEnv, cells),
 	}
 	for i := range p.shards {
 		sh := &p.shards[i]
@@ -188,11 +197,12 @@ func NewParallel(grid *hexgrid.Grid, assign *chanset.Assignment, factory alloc.F
 		cell := hexgrid.CellID(i)
 		a := factory.New(cell)
 		p.allocs[i] = a
-		env := &pcellEnv{
+		env := &p.envs[i]
+		*env = pcellEnv{
 			p:     p,
 			shard: part.ShardOf(cell),
 			cell:  cell,
-			rand:  sim.Substream(opts.Seed, uint64(i)+1),
+			rand:  sim.SubstreamValue(opts.Seed, uint64(i)+1),
 		}
 		if opts.Jitter > 0 {
 			env.jitter = sim.Substream(opts.Seed, 0x6a170000+uint64(i))
@@ -268,11 +278,13 @@ func (p *Parallel) Relay(from, to hexgrid.CellID, fn func()) {
 }
 
 // ReserveShard pre-sizes shard s's event heap (Erlang estimate from the
-// workload, mirroring Engine.Reserve).
-func (p *Parallel) ReserveShard(s, n int) { p.kernel.Reserve(s, n) }
+// workload, mirroring Engine.Reserve). Absurd hints are rejected with a
+// descriptive error (see sim.Shards.Reserve).
+func (p *Parallel) ReserveShard(s, n int) error { return p.kernel.Reserve(s, n) }
 
-// ReserveOutbox pre-sizes the src->dst mailbox.
-func (p *Parallel) ReserveOutbox(src, dst, n int) { p.kernel.ReserveOutbox(src, dst, n) }
+// ReserveOutbox pre-sizes the src->dst mailbox, materializing the
+// route. Absurd hints are rejected like ReserveShard's.
+func (p *Parallel) ReserveOutbox(src, dst, n int) error { return p.kernel.ReserveOutbox(src, dst, n) }
 
 // Request submits a channel request at cell; cb (optional) runs on
 // completion, on the cell's shard. Must be called before Run/Drain or
@@ -281,8 +293,8 @@ func (p *Parallel) ReserveOutbox(src, dst, n int) { p.kernel.ReserveOutbox(src, 
 func (p *Parallel) Request(cell hexgrid.CellID, cb func(Result)) alloc.RequestID {
 	si := p.part.ShardOf(cell)
 	sh := &p.shards[si]
-	id := alloc.RequestID(int64(p.reqCount[cell])*int64(p.grid.NumCells()) + int64(cell) + 1)
-	p.reqCount[cell]++
+	id := alloc.RequestID(int64(p.cells[cell].reqCount)*int64(p.grid.NumCells()) + int64(cell) + 1)
+	p.cells[cell].reqCount++
 	now := p.kernel.Now(si)
 	sh.pending[id] = sh.newPending(cell, now, cb)
 	sh.dog.Submitted(now)
@@ -350,22 +362,54 @@ func (p *Parallel) Stalled(window sim.Time) bool {
 
 // Trace returns the retained lifecycle events merged across shards in
 // canonical (At, Cell) order. A cell's events live in exactly one
-// shard's ring, so the stable sort preserves each cell's own order and
-// the result is independent of shard and worker count (given a
-// TraceSize large enough that no ring evicted).
+// shard's ring, so ordering each shard's events and streaming them
+// through a k-way merge yields exactly what a global stable sort over
+// the concatenation would: (At, Cell) ties never span shards, and each
+// cell's own order is preserved. The merge works per shard instead of
+// gathering everything into one slice first and re-sorting it — at
+// giant-grid scale the gather-all sort was the driver's largest
+// post-run transient.
 func (p *Parallel) Trace() []trace.Event {
-	var out []trace.Event
+	lists := make([][]trace.Event, 0, len(p.shards))
+	total := 0
 	for i := range p.shards {
-		if p.shards[i].ring != nil {
-			out = append(out, p.shards[i].ring.Events()...)
+		if p.shards[i].ring == nil {
+			continue
+		}
+		evs := p.shards[i].ring.Events()
+		if len(evs) == 0 {
+			continue
+		}
+		// Ring order is execution order: non-decreasing At within the
+		// shard, but same-tick events may interleave cells (the heap
+		// orders ties by origin, the trace by acted-on cell). A stable
+		// per-shard sort fixes the tie order without touching the rest.
+		sort.SliceStable(evs, func(a, b int) bool {
+			if evs[a].At != evs[b].At {
+				return evs[a].At < evs[b].At
+			}
+			return evs[a].Cell < evs[b].Cell
+		})
+		lists = append(lists, evs)
+		total += len(evs)
+	}
+	if len(lists) == 0 {
+		return nil
+	}
+	out := make([]trace.Event, 0, total)
+	for len(lists) > 0 {
+		min := 0
+		for i := 1; i < len(lists); i++ {
+			a, b := &lists[i][0], &lists[min][0]
+			if a.At < b.At || (a.At == b.At && a.Cell < b.Cell) {
+				min = i
+			}
+		}
+		out = append(out, lists[min][0])
+		if lists[min] = lists[min][1:]; len(lists[min]) == 0 {
+			lists = append(lists[:min], lists[min+1:]...)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].At != out[j].At {
-			return out[i].At < out[j].At
-		}
-		return out[i].Cell < out[j].Cell
-	})
 	return out
 }
 
@@ -374,8 +418,8 @@ func (p *Parallel) Trace() []trace.Event {
 // bit-identical regardless of how the run was scheduled.
 func (p *Parallel) Stats() Stats {
 	st := Stats{
-		CellGrants: append([]uint64(nil), p.cellGrants...),
-		CellDenies: append([]uint64(nil), p.cellDenies...),
+		CellGrants: make([]uint64, len(p.cells)),
+		CellDenies: make([]uint64, len(p.cells)),
 	}
 	merged := metrics.NewHistogram(float64(p.opts.Latency)/2, p.opts.DelayBuckets)
 	for i := range p.shards {
@@ -386,10 +430,16 @@ func (p *Parallel) Stats() Stats {
 		merged.Merge(sh.delayHist)
 	}
 	st.DelayP95 = merged.Quantile(0.95)
-	for c := range p.acqDelay {
-		st.AcqDelay.Merge(p.acqDelay[c])
-		st.TotalDelay.Merge(p.totalDelay[c])
-		st.QueueDelay.Merge(p.queueDelay[c])
+	// One streaming pass over the packed per-cell records, in ascending
+	// cell order: Welford merges are float-order-sensitive, so this
+	// fixed order is part of the bit-identical-trajectory contract.
+	for c := range p.cells {
+		cs := &p.cells[c]
+		st.CellGrants[c] = uint64(cs.grants)
+		st.CellDenies[c] = uint64(cs.denies)
+		st.AcqDelay.Merge(cs.acqDelay)
+		st.TotalDelay.Merge(cs.totalDelay)
+		st.QueueDelay.Merge(cs.queueDelay)
 	}
 	for _, a := range p.allocs {
 		if cp, ok := a.(alloc.CounterProvider); ok {
@@ -439,11 +489,14 @@ func (sh *parShard) traceEvent(e trace.Event) {
 }
 
 // pcellEnv implements alloc.Env for one cell on the sharded kernel.
+// Instances live in Parallel.envs, one slab for the whole grid, with
+// the cell's RNG stream embedded by value (the jitter stream stays a
+// pointer: it exists only for jittered scenarios).
 type pcellEnv struct {
 	p      *Parallel
 	shard  int
 	cell   hexgrid.CellID
-	rand   *sim.Rand
+	rand   sim.Rand
 	jitter *sim.Rand
 }
 
@@ -451,7 +504,7 @@ func (e *pcellEnv) ID() hexgrid.CellID          { return e.cell }
 func (e *pcellEnv) Neighbors() []hexgrid.CellID { return e.p.grid.Interference(e.cell) }
 func (e *pcellEnv) Now() sim.Time               { return e.p.kernel.Now(e.shard) }
 func (e *pcellEnv) Latency() sim.Time           { return e.p.opts.Latency }
-func (e *pcellEnv) Rand() *sim.Rand             { return e.rand }
+func (e *pcellEnv) Rand() *sim.Rand             { return &e.rand }
 
 // Send delivers m after the latency (plus jitter). Deliveries carry the
 // *sender* as the event origin: the canonical key is then assigned
@@ -524,10 +577,11 @@ func (e *pcellEnv) Granted(id alloc.RequestID, ch chanset.Channel) {
 	now := p.kernel.Now(e.shard)
 	sh.dog.Completed(now)
 	sh.grants++
-	p.cellGrants[e.cell]++
-	p.acqDelay[e.cell].Observe(float64(now - q.began))
-	p.totalDelay[e.cell].Observe(float64(now - q.submitted))
-	p.queueDelay[e.cell].Observe(float64(q.began - q.submitted))
+	cs := &p.cells[e.cell]
+	cs.grants++
+	cs.acqDelay.Observe(float64(now - q.began))
+	cs.totalDelay.Observe(float64(now - q.submitted))
+	cs.queueDelay.Observe(float64(q.began - q.submitted))
 	sh.delayHist.Observe(float64(now - q.began))
 	p.obs.granted.Inc()
 	p.obs.outstanding.Add(-1)
@@ -553,7 +607,7 @@ func (e *pcellEnv) Denied(id alloc.RequestID) {
 	now := p.kernel.Now(e.shard)
 	sh.dog.Completed(now)
 	sh.denies++
-	p.cellDenies[e.cell]++
+	p.cells[e.cell].denies++
 	p.obs.denied.Inc()
 	p.obs.outstanding.Add(-1)
 	sh.traceEvent(trace.Event{At: now, Kind: trace.EvDeny, Cell: e.cell, Ch: chanset.NoChannel, Info: int64(id)})

@@ -9,7 +9,9 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/chanset"
@@ -60,6 +62,42 @@ type BenchReport struct {
 	Network    NetworkBench  `json:"network"`
 	Parallel   ParallelBench `json:"parallel"`
 	Policies   PolicyBench   `json:"policies"`
+	Scale      ScaleBench    `json:"scale"`
+}
+
+// BenchSections lists the report's section names, the vocabulary of
+// `chansim -bench-only` and `benchdelta -only`.
+var BenchSections = []string{"kernel", "sweep", "network", "parallel", "policies", "scale"}
+
+// ParseSections turns a comma-separated section list into a set.
+// Empty input selects every section. Unknown names error rather than
+// silently benchmark nothing.
+func ParseSections(only string) (map[string]bool, error) {
+	want := make(map[string]bool, len(BenchSections))
+	if only == "" {
+		for _, s := range BenchSections {
+			want[s] = true
+		}
+		return want, nil
+	}
+	known := make(map[string]bool, len(BenchSections))
+	for _, s := range BenchSections {
+		known[s] = true
+	}
+	for _, s := range strings.Split(only, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if !known[s] {
+			return nil, fmt.Errorf("experiments: unknown bench section %q (have %s)", s, strings.Join(BenchSections, ", "))
+		}
+		want[s] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("experiments: empty bench section list %q", only)
+	}
+	return want, nil
 }
 
 // benchEnv is the scenario the harness measures. Quick mode shortens
@@ -142,9 +180,15 @@ func RunSweepBench(workers int, quick bool) (SweepBench, error) {
 	if err != nil {
 		return SweepBench{}, err
 	}
-	par, err := timeSweep(workers)
-	if err != nil {
-		return SweepBench{}, err
+	// At width 1 the "parallel" sweep is the sequential sweep: rerunning
+	// it only measures scheduler noise (and used to report phantom
+	// speedups like 0.80x on single-core hosts), so reuse the timing and
+	// pin the speedup at its true value.
+	par := seq
+	if workers > 1 {
+		if par, err = timeSweep(workers); err != nil {
+			return SweepBench{}, err
+		}
 	}
 	b := SweepBench{Workers: workers, SeqSeconds: seq, ParSeconds: par}
 	if par > 0 {
@@ -155,35 +199,50 @@ func RunSweepBench(workers int, quick bool) (SweepBench, error) {
 
 // RunBench runs the full harness.
 func RunBench(workers int, quick bool) (BenchReport, error) {
-	kernel, err := RunKernelBench(quick)
+	return RunBenchOnly(workers, quick, "")
+}
+
+// RunBenchOnly runs the harness restricted to a comma-separated list
+// of sections ("" = all). Skipped sections stay zero in the report;
+// benchdelta treats a zero baseline as "skip", so partial reports
+// compose with the gates.
+func RunBenchOnly(workers int, quick bool, only string) (BenchReport, error) {
+	want, err := ParseSections(only)
 	if err != nil {
 		return BenchReport{}, err
 	}
-	sweep, err := RunSweepBench(workers, quick)
-	if err != nil {
-		return BenchReport{}, err
+	rep := BenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Quick: quick}
+	if want["kernel"] {
+		if rep.Kernel, err = RunKernelBench(quick); err != nil {
+			return BenchReport{}, err
+		}
 	}
-	network, err := RunNetworkBench(quick)
-	if err != nil {
-		return BenchReport{}, err
+	if want["sweep"] {
+		if rep.Sweep, err = RunSweepBench(workers, quick); err != nil {
+			return BenchReport{}, err
+		}
 	}
-	parallel, err := RunParallelBench(quick)
-	if err != nil {
-		return BenchReport{}, err
+	if want["network"] {
+		if rep.Network, err = RunNetworkBench(quick); err != nil {
+			return BenchReport{}, err
+		}
 	}
-	policies, err := RunPolicyBench(quick)
-	if err != nil {
-		return BenchReport{}, err
+	if want["parallel"] {
+		if rep.Parallel, err = RunParallelBench(quick); err != nil {
+			return BenchReport{}, err
+		}
 	}
-	return BenchReport{
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Quick:      quick,
-		Kernel:     kernel,
-		Sweep:      sweep,
-		Network:    network,
-		Parallel:   parallel,
-		Policies:   policies,
-	}, nil
+	if want["policies"] {
+		if rep.Policies, err = RunPolicyBench(quick); err != nil {
+			return BenchReport{}, err
+		}
+	}
+	if want["scale"] {
+		if rep.Scale, err = RunScaleBench(quick); err != nil {
+			return BenchReport{}, err
+		}
+	}
+	return rep, nil
 }
 
 // MarshalReport renders the report as indented JSON with a trailing

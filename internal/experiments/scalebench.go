@@ -1,0 +1,279 @@
+package experiments
+
+// Giant-grid scaling benchmark for the sharded parallel kernel: the
+// 500x500 (250k-cell) and 1000x1000 (10^6-cell) wrapped lattices that
+// motivated the compact per-cell state and sparse cross-shard routing
+// work. Where parbench.go measures worker scaling on mid-size grids,
+// this harness measures what survives at giant-grid scale: events/sec,
+// bytes of heap per cell, peak heap and peak RSS over the run, and the
+// per-shard cross-shard route count (which must stay O(neighbor
+// shards), not O(shards)). Every (shards, workers) combination records
+// a trajectory hash; all combinations of one grid must hash
+// identically — the determinism-across-partitioning contract made
+// machine-checkable — and cmd/benchdelta pins the hash across reports.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/chanset"
+	"repro/internal/driver"
+	"repro/internal/hexgrid"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// ScaleRun is one (shards, workers) measurement of one grid.
+type ScaleRun struct {
+	Shards  int `json:"shards"`
+	Workers int `json:"workers"`
+	// WallSeconds covers the simulation only (construction excluded).
+	WallSeconds float64 `json:"wall_seconds"`
+	// EventsPerSec = kernel events / WallSeconds.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Hash is this run's trajectory hash; must equal the grid's.
+	Hash string `json:"trajectory_hash"`
+}
+
+// ScaleGridBench is the giant-grid measurement of one lattice.
+type ScaleGridBench struct {
+	// Grid names the lattice ("500x500", "1000x1000").
+	Grid string `json:"grid"`
+	// Cells is the cell count.
+	Cells int `json:"cells"`
+	// Events is the kernel event count (identical across every
+	// combination by the determinism contract).
+	Events uint64 `json:"events"`
+	// Hash is the grid's trajectory hash, identical for every (shards,
+	// workers) combination in Runs and pinned across reports.
+	Hash string `json:"trajectory_hash"`
+	// BytesPerCell is the measured construction footprint: the GC-settled
+	// heap delta across factory + driver construction at the first
+	// combination, divided by Cells. This is the number the compact
+	// per-cell state work optimises.
+	BytesPerCell float64 `json:"bytes_per_cell"`
+	// PeakHeapBytes is the largest GC-live heap observed at any window
+	// barrier across all runs of this grid.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// PeakRSSBytes is the process peak resident set (VmHWM) after this
+	// grid's runs, 0 where /proc is unavailable. The counter is reset
+	// before the grid's first run when the kernel allows it, so on Linux
+	// this is per grid, not per process lifetime.
+	PeakRSSBytes uint64 `json:"peak_rss_bytes"`
+	// MaxRoutesPerShard is the largest number of cross-shard routes any
+	// shard materialised at the highest shard count — the sparse-routing
+	// guarantee (O(neighbor shards), not O(shards)) read off the run.
+	MaxRoutesPerShard int `json:"max_routes_per_shard"`
+	// Runs are the per-combination measurements.
+	Runs []ScaleRun `json:"runs"`
+}
+
+// ScaleBench is the "scale" section of the bench report.
+type ScaleBench struct {
+	Grids []ScaleGridBench `json:"grids"`
+}
+
+// scaleGridSpec fixes one benchmark lattice. Shard and worker counts
+// are part of the scenario (machine-independent), so the trajectory
+// hash reproduces on any host.
+type scaleGridSpec struct {
+	name          string
+	width, height int
+	duration      sim.Time
+}
+
+func scaleGrids(quick bool) []scaleGridSpec {
+	if quick {
+		return []scaleGridSpec{
+			{name: "500x500", width: 500, height: 500, duration: 300},
+		}
+	}
+	return []scaleGridSpec{
+		{name: "500x500", width: 500, height: 500, duration: 900},
+		{name: "1000x1000", width: 1000, height: 1000, duration: 450},
+	}
+}
+
+// scaleCombos is the (shards, workers) grid: two shard counts by two
+// worker counts, so the hash equality across Runs pins determinism in
+// both dimensions at once.
+func scaleCombos() [][2]int {
+	return [][2]int{{64, 1}, {64, 2}, {256, 1}, {256, 2}}
+}
+
+// RunScaleBench measures the sharded kernel at giant-grid scale. Quick
+// mode drops the 10^6-cell lattice and shortens the arrival window for
+// CI smoke; the 500x500 grid keeps the full combination matrix either
+// way, so the determinism gates always cover ≥2 shard counts and ≥2
+// worker counts.
+func RunScaleBench(quick bool) (ScaleBench, error) {
+	var out ScaleBench
+	for _, gs := range scaleGrids(quick) {
+		gb, err := runScaleGrid(gs)
+		if err != nil {
+			return ScaleBench{}, err
+		}
+		out.Grids = append(out.Grids, gb)
+	}
+	return out, nil
+}
+
+func runScaleGrid(gs scaleGridSpec) (ScaleGridBench, error) {
+	grid, err := hexgrid.New(hexgrid.Config{
+		Shape: hexgrid.Rect, Width: gs.width, Height: gs.height,
+		ReuseDistance: 2, Wrap: true,
+	})
+	if err != nil {
+		return ScaleGridBench{}, err
+	}
+	assign, err := chanset.Assign(grid, 70)
+	if err != nil {
+		return ScaleGridBench{}, err
+	}
+	const (
+		latency  = sim.Time(10)
+		meanHold = 3000.0
+		erlang   = 9.0 // 90% of the 10-primary set: heavy borrowing
+	)
+	gb := ScaleGridBench{Grid: gs.name, Cells: grid.NumCells()}
+	resetPeakRSS()
+	for _, combo := range scaleCombos() {
+		shards, workers := combo[0], combo[1]
+		factory, err := registry.Build("adaptive", grid, assign, registry.Config{Latency: latency})
+		if err != nil {
+			return ScaleGridBench{}, err
+		}
+		measureFootprint := len(gb.Runs) == 0
+		var m0 runtime.MemStats
+		if measureFootprint {
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+		}
+		p, err := driver.NewParallel(grid, assign, factory, driver.ParallelOptions{
+			Latency: latency, Seed: 101, Shards: shards, Workers: workers,
+		})
+		if err != nil {
+			return ScaleGridBench{}, err
+		}
+		if measureFootprint {
+			runtime.GC()
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			gb.BytesPerCell = float64(m1.HeapAlloc-m0.HeapAlloc) / float64(gb.Cells)
+		}
+		// Sample the live heap at window barriers (every 8th window: a
+		// ReadMemStats per window would tax short windows). Safe because
+		// the bench does not use ParallelOptions.Check, the only other
+		// SetBarrier client.
+		var window uint64
+		p.Kernel().SetBarrier(func() {
+			if window++; window%8 == 0 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > gb.PeakHeapBytes {
+					gb.PeakHeapBytes = ms.HeapAlloc
+				}
+			}
+		})
+		runtime.GC()
+		t0 := time.Now()
+		ts, err := traffic.RunParallel(p, traffic.Spec{
+			Profile:  traffic.Uniform{PerCell: erlang / meanHold},
+			MeanHold: meanHold,
+			Duration: gs.duration,
+			Warmup:   gs.duration / 5,
+			Seed:     101,
+		})
+		if err != nil {
+			return ScaleGridBench{}, err
+		}
+		wall := time.Since(t0)
+		if err := p.CheckInvariant(); err != nil {
+			return ScaleGridBench{}, err
+		}
+		events := p.Kernel().Executed()
+		run := ScaleRun{
+			Shards:      shards,
+			Workers:     workers,
+			WallSeconds: wall.Seconds(),
+			Hash:        trajectoryHash(p.Stats(), ts),
+		}
+		if wall > 0 {
+			run.EventsPerSec = float64(events) / wall.Seconds()
+		}
+		if len(gb.Runs) == 0 {
+			gb.Events = events
+			gb.Hash = run.Hash
+		} else {
+			if events != gb.Events {
+				return ScaleGridBench{}, fmt.Errorf(
+					"scalebench %s: shards=%d workers=%d executed %d events, first combo executed %d — determinism broken",
+					gs.name, shards, workers, events, gb.Events)
+			}
+			if run.Hash != gb.Hash {
+				return ScaleGridBench{}, fmt.Errorf(
+					"scalebench %s: shards=%d workers=%d trajectory hash %s != first combo hash %s — determinism broken",
+					gs.name, shards, workers, run.Hash, gb.Hash)
+			}
+		}
+		if shards == maxScaleShards() {
+			for s := 0; s < shards; s++ {
+				if r := p.Kernel().Routes(s); r > gb.MaxRoutesPerShard {
+					gb.MaxRoutesPerShard = r
+				}
+			}
+		}
+		gb.Runs = append(gb.Runs, run)
+	}
+	gb.PeakRSSBytes = readPeakRSS()
+	return gb, nil
+}
+
+// maxScaleShards is the shard count whose route sparsity the report
+// records.
+func maxScaleShards() int {
+	max := 0
+	for _, c := range scaleCombos() {
+		if c[0] > max {
+			max = c[0]
+		}
+	}
+	return max
+}
+
+// readPeakRSS returns the process peak resident set in bytes from
+// /proc/self/status (VmHWM), or 0 where that is unavailable.
+func readPeakRSS() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// resetPeakRSS clears the kernel's VmHWM counter so readPeakRSS
+// reflects the measurement that follows rather than earlier process
+// history. Best-effort: silently a no-op where /proc/self/clear_refs
+// is absent or read-only.
+func resetPeakRSS() {
+	_ = os.WriteFile("/proc/self/clear_refs", []byte("5"), 0)
+}

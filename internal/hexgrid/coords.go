@@ -71,18 +71,25 @@ func Ring(center Axial, k int) []Axial {
 	if k == 0 {
 		return []Axial{center}
 	}
-	out := make([]Axial, 0, 6*k)
+	return AppendRing(make([]Axial, 0, 6*k), center, k)
+}
+
+// AppendRing appends the cells of Ring(center, k) for k >= 1 to dst and
+// returns the extended slice. It lets hot callers (neighborhood
+// construction over 10^6 cells) reuse one scratch buffer instead of
+// allocating per ring.
+func AppendRing(dst []Axial, center Axial, k int) []Axial {
 	cur := center.Add(directions[0].Scale(k))
 	for side := 0; side < 6; side++ {
 		// Walk k steps along side. The direction for side i is
 		// directions[(i+2)%6] so that the walk traces the hexagon.
 		dir := directions[(side+2)%6]
 		for step := 0; step < k; step++ {
-			out = append(out, cur)
+			dst = append(dst, cur)
 			cur = cur.Add(dir)
 		}
 	}
-	return out
+	return dst
 }
 
 // Spiral returns all cells within radius k of center: center first, then

@@ -1,9 +1,6 @@
 package hexgrid
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // CellID identifies a cell (equivalently its mobile service station, MSS)
 // inside one Grid. IDs are dense, starting at 0. The paper numbers cells
@@ -59,11 +56,20 @@ type Config struct {
 // structure. All slices returned by accessor methods alias internal
 // storage and must not be modified.
 type Grid struct {
-	cfg      Config
-	cells    []Axial          // position of each cell, indexed by CellID
-	index    map[Axial]CellID // inverse of cells (pre-wrap canonical coords)
-	neighbor [][]CellID       // interference neighborhood IN(i), sorted, excluding i
-	adjacent [][]CellID       // hex-distance-1 neighbors, sorted
+	cfg   Config
+	cells []Axial // position of each cell, indexed by CellID
+	// index is the inverse of cells (pre-wrap canonical coords). Rect
+	// grids resolve positions arithmetically instead — at 10^6 cells the
+	// map alone costs tens of MB and dominates construction time — so it
+	// is only populated for Hexagon grids.
+	index    map[Axial]CellID
+	neighbor [][]CellID // interference neighborhood IN(i), sorted, excluding i
+	adjacent [][]CellID // hex-distance-1 neighbors, sorted
+	// nbrFlat and adjFlat are the shared backing arrays of neighbor and
+	// adjacent: two allocations for the whole grid instead of two per
+	// cell, which matters at giant-grid scale (10^6 cells).
+	nbrFlat []CellID
+	adjFlat []CellID
 }
 
 // New builds a grid from cfg. It returns an error for degenerate
@@ -73,7 +79,10 @@ func New(cfg Config) (*Grid, error) {
 	if cfg.ReuseDistance < 1 {
 		return nil, fmt.Errorf("hexgrid: reuse distance must be >= 1, got %d", cfg.ReuseDistance)
 	}
-	g := &Grid{cfg: cfg, index: make(map[Axial]CellID)}
+	g := &Grid{cfg: cfg}
+	if cfg.Shape == Hexagon {
+		g.index = make(map[Axial]CellID)
+	}
 	switch cfg.Shape {
 	case Rect:
 		if cfg.Width < 1 || cfg.Height < 1 {
@@ -117,41 +126,66 @@ func MustNew(cfg Config) *Grid {
 func (g *Grid) addCell(a Axial) {
 	id := CellID(len(g.cells))
 	g.cells = append(g.cells, a)
-	g.index[a] = id
+	if g.index != nil {
+		g.index[a] = id
+	}
 }
 
 // buildNeighborhoods computes, for every cell, the set of cells within
 // the reuse distance (interference neighborhood) and within distance 1
 // (physical adjacency, used for handoff).
+//
+// No dedup pass is needed: distinct lattice positions within distance D
+// of a cell always resolve to distinct cells. For unwrapped grids that
+// is immediate; for wrapped Rect grids two positions collide only when
+// their coordinate deltas are multiples of (Width, Height), impossible
+// while both dimensions exceed 2*ReuseDistance (enforced in New). The
+// same argument shows a ring position never wraps back onto the center.
 func (g *Grid) buildNeighborhoods() {
 	n := len(g.cells)
+	d := g.cfg.ReuseDistance
+	maxIN := 3 * d * (d + 1) // interior interference-neighborhood size
 	g.neighbor = make([][]CellID, n)
 	g.adjacent = make([][]CellID, n)
+	// Exact upper-bound capacities: the backings never reallocate, so
+	// per-cell views can be taken as the flat slices grow.
+	g.nbrFlat = make([]CellID, 0, n*maxIN)
+	g.adjFlat = make([]CellID, 0, n*6)
+	scratch := make([]Axial, 0, 6*d)
 	for id, pos := range g.cells {
-		seenIN := map[CellID]bool{}
-		seenAdj := map[CellID]bool{}
-		for k := 1; k <= g.cfg.ReuseDistance; k++ {
-			for _, p := range Ring(pos, k) {
-				if other, ok := g.lookup(p); ok && other != CellID(id) && !seenIN[other] {
-					seenIN[other] = true
-					g.neighbor[id] = append(g.neighbor[id], other)
+		nbrStart, adjStart := len(g.nbrFlat), len(g.adjFlat)
+		for k := 1; k <= d; k++ {
+			scratch = AppendRing(scratch[:0], pos, k)
+			for _, p := range scratch {
+				if other, ok := g.lookup(p); ok && other != CellID(id) {
+					g.nbrFlat = append(g.nbrFlat, other)
 					if k == 1 {
-						seenAdj[other] = true
-						g.adjacent[id] = append(g.adjacent[id], other)
+						g.adjFlat = append(g.adjFlat, other)
 					}
 				}
 			}
 		}
-		sortIDs(g.neighbor[id])
-		sortIDs(g.adjacent[id])
+		nbr := g.nbrFlat[nbrStart:len(g.nbrFlat):len(g.nbrFlat)]
+		adj := g.adjFlat[adjStart:len(g.adjFlat):len(g.adjFlat)]
+		sortIDs(nbr)
+		sortIDs(adj)
+		g.neighbor[id] = nbr
+		g.adjacent[id] = adj
 	}
 }
 
 // lookup resolves an axial position to a cell id, applying toroidal
-// wrapping when configured.
+// wrapping when configured. Rect grids are resolved arithmetically from
+// the row-major layout; only Hexagon grids consult the position index.
 func (g *Grid) lookup(a Axial) (CellID, bool) {
-	if g.cfg.Wrap && g.cfg.Shape == Rect {
-		a = Axial{mod(a.Q, g.cfg.Width), mod(a.R, g.cfg.Height)}
+	if g.cfg.Shape == Rect {
+		q, r := a.Q, a.R
+		if g.cfg.Wrap {
+			q, r = mod(q, g.cfg.Width), mod(r, g.cfg.Height)
+		} else if q < 0 || q >= g.cfg.Width || r < 0 || r >= g.cfg.Height {
+			return 0, false
+		}
+		return CellID(r*g.cfg.Width + q), true
 	}
 	id, ok := g.index[a]
 	return id, ok
@@ -165,8 +199,19 @@ func mod(v, m int) int {
 	return v
 }
 
+// sortIDs sorts tiny id lists (neighborhoods are <= 3D(D+1) entries) by
+// insertion sort, avoiding sort.Slice's closure overhead on the 10^6
+// calls a giant grid makes during construction.
 func sortIDs(ids []CellID) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i := 1; i < len(ids); i++ {
+		v := ids[i]
+		j := i - 1
+		for j >= 0 && ids[j] > v {
+			ids[j+1] = ids[j]
+			j--
+		}
+		ids[j+1] = v
+	}
 }
 
 // NumCells returns the number of cells in the grid.

@@ -25,6 +25,14 @@ type Partition struct {
 	tiles   []Tile
 	shardOf []int32 // cell id -> owning shard
 	halo    int     // total halo cells across all tiles
+	// nbrShards[i] lists the distinct shards (sorted ascending) that
+	// tile i's halo cells can reach — the only shards tile i ever
+	// exchanges cross-shard events with. For contiguous ID-range tiles
+	// of a row-major grid this is a small constant (the tiles directly
+	// above/below plus the id-adjacent ones), independent of the total
+	// shard count, which is what lets the kernel keep per-shard routing
+	// state O(neighbor shards) instead of O(shards).
+	nbrShards [][]int32
 }
 
 // Partition splits the grid into n contiguous tiles of near-equal size
@@ -54,19 +62,52 @@ func (g *Grid) Partition(n int) (*Partition, error) {
 		}
 		lo += size
 	}
+	p.nbrShards = make([][]int32, n)
 	for i := range p.tiles {
 		t := &p.tiles[i]
+		var nbrs []int32
 		for c := t.Lo; c < t.Hi; c++ {
+			crosses := false
 			for _, nb := range g.Interference(c) {
-				if p.shardOf[nb] != int32(i) {
-					t.Halo = append(t.Halo, c)
-					p.halo++
-					break
+				if s := p.shardOf[nb]; s != int32(i) {
+					crosses = true
+					if !containsShard(nbrs, s) {
+						nbrs = append(nbrs, s)
+					}
 				}
 			}
+			if crosses {
+				t.Halo = append(t.Halo, c)
+				p.halo++
+			}
 		}
+		sortShards(nbrs)
+		p.nbrShards[i] = nbrs
 	}
 	return p, nil
+}
+
+// containsShard reports whether s is in the (tiny) list nbrs.
+func containsShard(nbrs []int32, s int32) bool {
+	for _, v := range nbrs {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// sortShards sorts a tiny shard list in place by insertion sort.
+func sortShards(s []int32) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
 }
 
 // NumShards returns the number of tiles.
@@ -81,3 +122,10 @@ func (p *Partition) ShardOf(c CellID) int { return int(p.shardOf[c]) }
 // HaloCells returns the total number of halo cells across all tiles —
 // the upper bound on cells that generate cross-shard traffic.
 func (p *Partition) HaloCells() int { return p.halo }
+
+// NeighborShards returns the distinct shards that shard src's halo cells
+// can reach with protocol or handoff traffic, sorted ascending. Every
+// cross-shard event originating in src lands in one of these shards, so
+// routing structures sized by this list are O(neighbor shards) rather
+// than O(total shards). The returned slice aliases internal storage.
+func (p *Partition) NeighborShards(src int) []int32 { return p.nbrShards[src] }

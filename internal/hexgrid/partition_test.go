@@ -120,3 +120,72 @@ func TestPartitionHaloBoundsInterior(t *testing.T) {
 		}
 	}
 }
+
+func TestPartitionNeighborShardsCorrect(t *testing.T) {
+	// NeighborShards must equal the brute-force set of shards reachable
+	// from any cell's interference neighborhood, for every tile.
+	for _, cfg := range []Config{
+		{Shape: Rect, Width: 10, Height: 8, ReuseDistance: 2},
+		{Shape: Rect, Width: 9, Height: 9, ReuseDistance: 2, Wrap: true},
+		{Shape: Hexagon, Radius: 4, ReuseDistance: 2},
+	} {
+		g := MustNew(cfg)
+		for _, n := range []int{1, 2, 5, 16} {
+			p, err := g.Partition(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				want := map[int32]bool{}
+				tile := p.Tile(i)
+				for c := tile.Lo; c < tile.Hi; c++ {
+					for _, nb := range g.Interference(c) {
+						if s := int32(p.ShardOf(nb)); s != int32(i) {
+							want[s] = true
+						}
+					}
+				}
+				got := p.NeighborShards(i)
+				if len(got) != len(want) {
+					t.Fatalf("%v n=%d shard %d: NeighborShards=%v, want %d shards", cfg, n, i, got, len(want))
+				}
+				for k, s := range got {
+					if !want[s] {
+						t.Errorf("%v n=%d shard %d: NeighborShards contains %d, not reachable", cfg, n, i, s)
+					}
+					if k > 0 && got[k-1] >= s {
+						t.Errorf("%v n=%d shard %d: NeighborShards not sorted ascending: %v", cfg, n, i, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionNeighborShardsSparse(t *testing.T) {
+	// At 256 shards of a 500x500 wrapped grid each tile must talk to a
+	// small constant number of neighbor shards, independent of the shard
+	// count: contiguous ID-range tiles are bands of rows, so a tile's
+	// halo reaches only the few id-adjacent tiles above and below it.
+	// This is the property that lets the kernel and the traffic runner
+	// keep per-shard routing and reservations O(neighbor shards) rather
+	// than O(shards).
+	g := MustNew(Config{Shape: Rect, Width: 500, Height: 500, ReuseDistance: 2, Wrap: true})
+	const shards = 256
+	p, err := g.Partition(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxNeighbors = 8 // small constant; dense routing would be shards-1 = 255
+	total := 0
+	for i := 0; i < shards; i++ {
+		nbrs := p.NeighborShards(i)
+		if len(nbrs) > maxNeighbors {
+			t.Errorf("shard %d has %d neighbor shards (%v), want <= %d", i, len(nbrs), nbrs, maxNeighbors)
+		}
+		total += len(nbrs)
+	}
+	if avg := float64(total) / shards; avg >= float64(shards)/4 {
+		t.Errorf("average neighbor-shard count %.1f is not sparse for %d shards", avg, shards)
+	}
+}

@@ -11,6 +11,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"unsafe"
 )
 
 // Time is virtual time in abstract ticks. The paper's unit is T, the
@@ -50,6 +51,9 @@ type Engine struct {
 	cnt []uint64
 	// Executed counts callbacks run; useful for progress watchdogs.
 	executed uint64
+	// reserveBudget caps the heap capacity Reserve may pin (bytes);
+	// zero means DefaultReserveBudget.
+	reserveBudget uint64
 }
 
 // NewEngine returns an engine at time 0 with an empty queue.
@@ -68,13 +72,38 @@ func (e *Engine) Pending() int { return len(e.events) }
 // reallocating. Drivers that can estimate the number of concurrently
 // scheduled events (e.g. expected in-flight calls plus one arrival per
 // cell) should call it once up front to avoid growth copies mid-run.
-func (e *Engine) Reserve(n int) {
+// Absurd hints — negative, or exceeding the engine's reserve budget —
+// return a descriptive error and leave the queue untouched.
+func (e *Engine) Reserve(n int) error {
+	if n < 0 {
+		return fmt.Errorf("sim: heap reserve of %d events is negative", n)
+	}
 	if n <= cap(e.events) {
-		return
+		return nil
+	}
+	budget := e.reserveBudget
+	if budget == 0 {
+		budget = DefaultReserveBudget
+	}
+	const eventSize = uint64(unsafe.Sizeof(event{}))
+	if bytes := uint64(n) * eventSize; bytes > budget {
+		return fmt.Errorf("sim: heap reserve of %d events (%d MiB) exceeds memory budget (%d MiB); check the workload estimate or raise SetReserveBudget",
+			n, bytes>>20, budget>>20)
 	}
 	grown := make([]event, len(e.events), n)
 	copy(grown, e.events)
 	e.events = grown
+	return nil
+}
+
+// SetReserveBudget caps the heap capacity (in bytes) Reserve may pin;
+// bytes <= 0 restores the default.
+func (e *Engine) SetReserveBudget(bytes int64) {
+	if bytes <= 0 {
+		e.reserveBudget = 0
+		return
+	}
+	e.reserveBudget = uint64(bytes)
 }
 
 // less orders the heap by the canonical (at, origin, counter) key —

@@ -270,3 +270,26 @@ func TestPermIsPermutation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEngineReserveBudget checks the serial kernel rejects absurd
+// capacity hints the same way the sharded kernel does.
+func TestEngineReserveBudget(t *testing.T) {
+	e := NewEngine()
+	if err := e.Reserve(-1); err == nil {
+		t.Fatal("negative heap reserve accepted")
+	}
+	if err := e.Reserve(int(DefaultReserveBudget)); err == nil {
+		t.Fatal("budget-blowing heap reserve accepted")
+	}
+	e.SetReserveBudget(1 << 20)
+	if err := e.Reserve(1 << 19); err == nil {
+		t.Fatal("reserve past the configured budget accepted")
+	}
+	if err := e.Reserve(1024); err != nil {
+		t.Fatalf("sane reserve rejected: %v", err)
+	}
+	e.SetReserveBudget(0)
+	if err := e.Reserve(1 << 19); err != nil {
+		t.Fatalf("reserve after restoring the default budget rejected: %v", err)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"unsafe"
 )
 
 // pevent is one scheduled callback in the sharded kernel. Unlike the
@@ -39,18 +40,51 @@ type pevent struct {
 	fn  func()
 }
 
+// outRoute buffers cross-shard events from one shard to one destination
+// shard until the next window barrier.
+type outRoute struct {
+	dst int32
+	box []pevent
+}
+
 // pshard is one shard's private state: clock, heap, and outboxes.
 type pshard struct {
 	now      Time
 	executed uint64
 	events   []pevent
-	// outbox[d] buffers cross-shard events destined for shard d until
-	// the next window barrier. Only this shard's worker appends; only
-	// the coordinator (between windows) drains.
-	outbox [][]pevent
+	// routes holds this shard's cross-shard mailboxes, sorted by
+	// destination shard and created lazily on first use. With
+	// contiguous ID-range tiles a shard only ever talks to its few
+	// partition neighbors (hexgrid.Partition.NeighborShards), so this
+	// stays O(neighbor shards) — a dense [][]pevent outbox would be
+	// O(shards) per shard and dominate memory at the shard counts a
+	// 10^6-cell grid wants. Only this shard's worker appends; only the
+	// coordinator (between windows) drains.
+	routes []outRoute
 	// pad avoids false sharing between adjacent shards' hot fields
 	// when workers advance them concurrently.
 	_ [64]byte
+}
+
+// route returns the mailbox for destination dst, creating it in sorted
+// position on first use.
+func (s *pshard) route(dst int32) *outRoute {
+	lo, hi := 0, len(s.routes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.routes[mid].dst < dst {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.routes) && s.routes[lo].dst == dst {
+		return &s.routes[lo]
+	}
+	s.routes = append(s.routes, outRoute{})
+	copy(s.routes[lo+1:], s.routes[lo:])
+	s.routes[lo] = outRoute{dst: dst}
+	return &s.routes[lo]
 }
 
 // Shards is the sharded kernel. The zero value is not usable; call
@@ -66,7 +100,22 @@ type Shards struct {
 	cnt     []uint64
 	barrier func()
 	windows uint64
+	// reservedBytes accumulates the capacity pinned by Reserve and
+	// ReserveOutbox, checked against reserveBudget so an absurd hint
+	// (from a miscomputed workload estimate) fails fast with an error
+	// instead of silently attempting a huge allocation.
+	reservedBytes uint64
+	reserveBudget uint64
 }
+
+// DefaultReserveBudget caps the cumulative event capacity (in bytes) a
+// kernel's Reserve/ReserveOutbox calls may pin unless overridden with
+// SetReserveBudget. Generous enough for a 10^6-cell run (tens of
+// millions of in-flight events), small enough to catch estimates that
+// are off by orders of magnitude before they OOM the host.
+const DefaultReserveBudget = 8 << 30
+
+const peventSize = uint64(unsafe.Sizeof(pevent{}))
 
 // NewShards builds a kernel with n shards, a lookahead window of T
 // ticks (the minimum cross-shard scheduling delay), and numOrigins
@@ -81,15 +130,38 @@ func NewShards(n int, lookahead Time, numOrigins int) *Shards {
 	if numOrigins < 1 {
 		panic(fmt.Sprintf("sim: NewShards with %d origins", numOrigins))
 	}
-	k := &Shards{
-		lookahead: lookahead,
-		shards:    make([]pshard, n),
-		cnt:       make([]uint64, numOrigins),
+	return &Shards{
+		lookahead:     lookahead,
+		shards:        make([]pshard, n),
+		cnt:           make([]uint64, numOrigins),
+		reserveBudget: DefaultReserveBudget,
 	}
-	for i := range k.shards {
-		k.shards[i].outbox = make([][]pevent, n)
+}
+
+// SetReserveBudget caps the cumulative bytes of event capacity that
+// Reserve and ReserveOutbox may pin; bytes <= 0 restores the default.
+func (k *Shards) SetReserveBudget(bytes int64) {
+	if bytes <= 0 {
+		k.reserveBudget = DefaultReserveBudget
+		return
 	}
-	return k
+	k.reserveBudget = uint64(bytes)
+}
+
+// chargeReserve accounts for growing a buffer from oldCap to n events,
+// returning a descriptive error when the hint is absurd: negative, or
+// pushing cumulative reserved capacity past the budget.
+func (k *Shards) chargeReserve(what string, n, oldCap int) error {
+	if n < 0 {
+		return fmt.Errorf("sim: %s reserve of %d events is negative", what, n)
+	}
+	grow := uint64(n-oldCap) * peventSize
+	if k.reservedBytes+grow > k.reserveBudget {
+		return fmt.Errorf("sim: %s reserve of %d events (%d MiB) exceeds memory budget (%d MiB reserved of %d MiB); check the workload estimate or raise SetReserveBudget",
+			what, n, grow>>20, k.reservedBytes>>20, k.reserveBudget>>20)
+	}
+	k.reservedBytes += grow
+	return nil
 }
 
 // NumShards returns the shard count.
@@ -121,35 +193,58 @@ func (k *Shards) Pending() int {
 	n := 0
 	for i := range k.shards {
 		n += len(k.shards[i].events)
-		for _, box := range k.shards[i].outbox {
-			n += len(box)
+		for _, rt := range k.shards[i].routes {
+			n += len(rt.box)
 		}
 	}
 	return n
 }
 
+// Routes returns the number of cross-shard mailboxes shard s has
+// materialized — O(neighbor shards) for partition-derived workloads,
+// never O(total shards). Exposed so tests and benches can assert the
+// sparse-routing property.
+func (k *Shards) Routes(s int) int { return len(k.shards[s].routes) }
+
 // Reserve grows shard s's heap capacity to hold at least n events
 // without reallocating, mirroring Engine.Reserve for the serial kernel.
-func (k *Shards) Reserve(s, n int) {
+// Absurd hints — negative, or blowing the kernel's reserve budget —
+// return a descriptive error and leave the heap untouched.
+func (k *Shards) Reserve(s, n int) error {
 	sh := &k.shards[s]
+	if n < 0 {
+		return k.chargeReserve("heap", n, 0)
+	}
 	if n <= cap(sh.events) {
-		return
+		return nil
+	}
+	if err := k.chargeReserve("heap", n, cap(sh.events)); err != nil {
+		return err
 	}
 	grown := make([]pevent, len(sh.events), n)
 	copy(grown, sh.events)
 	sh.events = grown
+	return nil
 }
 
 // ReserveOutbox pre-sizes the src->dst mailbox so halo traffic does not
-// grow-copy mid-window.
-func (k *Shards) ReserveOutbox(src, dst, n int) {
-	box := k.shards[src].outbox[dst]
-	if n <= cap(box) {
-		return
+// grow-copy mid-window, materializing the route if needed. Absurd hints
+// are rejected like Reserve's.
+func (k *Shards) ReserveOutbox(src, dst, n int) error {
+	if n < 0 || uint64(n)*peventSize > k.reserveBudget {
+		return k.chargeReserve("outbox", n, 0)
 	}
-	grown := make([]pevent, len(box), n)
-	copy(grown, box)
-	k.shards[src].outbox[dst] = grown
+	rt := k.shards[src].route(int32(dst))
+	if n <= cap(rt.box) {
+		return nil
+	}
+	if err := k.chargeReserve("outbox", n, cap(rt.box)); err != nil {
+		return err
+	}
+	grown := make([]pevent, len(rt.box), n)
+	copy(grown, rt.box)
+	rt.box = grown
+	return nil
 }
 
 // SetBarrier installs fn to run on the coordinator goroutine at every
@@ -189,7 +284,8 @@ func (k *Shards) Cross(src, dst int, at Time, origin int32, fn func()) {
 		panic(fmt.Sprintf("sim: cross-shard event %d->%d at %d violates lookahead (now %d + T %d)", src, dst, at, sh.now, k.lookahead))
 	}
 	k.cnt[origin]++
-	sh.outbox[dst] = append(sh.outbox[dst], pevent{at: at, org: origin, cnt: k.cnt[origin], fn: fn})
+	rt := sh.route(int32(dst))
+	rt.box = append(rt.box, pevent{at: at, org: origin, cnt: k.cnt[origin], fn: fn})
 }
 
 // less orders shard events by the canonical (at, origin, counter) key.
@@ -274,19 +370,19 @@ func (s *pshard) runWindow(horizon Time) {
 func (k *Shards) flush() {
 	for si := range k.shards {
 		src := &k.shards[si]
-		for di := range src.outbox {
-			box := src.outbox[di]
-			if len(box) == 0 {
+		for ri := range src.routes {
+			rt := &src.routes[ri]
+			if len(rt.box) == 0 {
 				continue
 			}
-			dst := &k.shards[di]
-			for _, ev := range box {
+			dst := &k.shards[rt.dst]
+			for _, ev := range rt.box {
 				dst.push(ev)
 			}
-			for i := range box {
-				box[i] = pevent{}
+			for i := range rt.box {
+				rt.box[i] = pevent{}
 			}
-			src.outbox[di] = box[:0]
+			rt.box = rt.box[:0]
 		}
 	}
 }

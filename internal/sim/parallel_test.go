@@ -196,3 +196,85 @@ func ExampleShards() {
 	k.Run(1, 100)
 	// Output: delivered at 10
 }
+
+// TestShardsRoutesLazySparse checks that cross-shard mailboxes are
+// materialized per destination actually used — O(neighbor shards) —
+// rather than one per (src, dst) pair as the dense outbox was.
+func TestShardsRoutesLazySparse(t *testing.T) {
+	const n = 256
+	k := NewShards(n, 10, n)
+	for s := 0; s < n; s++ {
+		if got := k.Routes(s); got != 0 {
+			t.Fatalf("shard %d materialized %d routes before any traffic", s, got)
+		}
+	}
+	// Shard 0 talks to its two ring neighbors only.
+	k.At(0, 0, 0, func() {
+		k.Cross(0, 1, 10, 0, func() {})
+		k.Cross(0, n-1, 10, 0, func() {})
+		k.Cross(0, 1, 11, 0, func() {})
+	})
+	k.Run(1, 20)
+	if got := k.Routes(0); got != 2 {
+		t.Fatalf("shard 0 routes = %d, want 2 (one per destination used)", got)
+	}
+	for s := 1; s < n; s++ {
+		if got := k.Routes(s); got != 0 {
+			t.Fatalf("idle shard %d materialized %d routes", s, got)
+		}
+	}
+}
+
+// TestShardsReserveBudget checks that absurd capacity hints fail fast
+// with a descriptive error instead of attempting the allocation.
+func TestShardsReserveBudget(t *testing.T) {
+	k := NewShards(2, 5, 2)
+	if err := k.Reserve(0, -1); err == nil {
+		t.Fatal("negative heap reserve accepted")
+	}
+	huge := int(DefaultReserveBudget) // events; bytes = huge * sizeof(pevent) >> budget
+	if err := k.Reserve(0, huge); err == nil {
+		t.Fatal("budget-blowing heap reserve accepted")
+	}
+	if err := k.ReserveOutbox(0, 1, -7); err == nil {
+		t.Fatal("negative outbox reserve accepted")
+	}
+	if err := k.ReserveOutbox(0, 1, huge); err == nil {
+		t.Fatal("budget-blowing outbox reserve accepted")
+	}
+	if got := k.Routes(0); got != 0 {
+		t.Fatalf("rejected outbox reserve materialized a route (routes = %d)", got)
+	}
+	// Sane hints still work after rejections.
+	if err := k.Reserve(0, 1024); err != nil {
+		t.Fatalf("sane heap reserve rejected: %v", err)
+	}
+	if err := k.ReserveOutbox(0, 1, 256); err != nil {
+		t.Fatalf("sane outbox reserve rejected: %v", err)
+	}
+	if got := k.Routes(0); got != 1 {
+		t.Fatalf("routes = %d after one outbox reserve, want 1", got)
+	}
+}
+
+// TestShardsReserveBudgetCumulative checks the budget covers the sum
+// of reservations, not each call in isolation, and that
+// SetReserveBudget(<=0) restores the default.
+func TestShardsReserveBudgetCumulative(t *testing.T) {
+	k := NewShards(2, 5, 2)
+	k.SetReserveBudget(64 << 10)
+	perCall := int((32 << 10) / peventSize) // half the budget in events
+	if err := k.Reserve(0, perCall); err != nil {
+		t.Fatalf("first half-budget reserve rejected: %v", err)
+	}
+	if err := k.Reserve(1, perCall); err != nil {
+		t.Fatalf("second half-budget reserve rejected: %v", err)
+	}
+	if err := k.ReserveOutbox(0, 1, perCall); err == nil {
+		t.Fatal("reserve past the cumulative budget accepted")
+	}
+	k.SetReserveBudget(0)
+	if err := k.ReserveOutbox(0, 1, perCall); err != nil {
+		t.Fatalf("reserve after restoring the default budget rejected: %v", err)
+	}
+}

@@ -37,8 +37,12 @@ func RunParallel(p *driver.Parallel, spec Spec) (Stats, error) {
 	part := p.Partition()
 	// Per-shard capacity hints from the same Erlang estimate Run feeds
 	// Engine.Reserve: one candidate arrival per cell plus ~one release
-	// per held call, held calls ≈ offered Erlangs, 2x headroom. The
-	// mailbox hint assumes halo cells dominate cross-shard traffic.
+	// per held call, held calls ≈ offered Erlangs, 1.25x headroom (2x
+	// pinned double the steady state for nothing at giant-grid scale).
+	// Mailboxes are reserved only toward the shards the partition's halo
+	// can actually reach — O(neighbor shards) per shard, where the old
+	// all-destinations loop was O(shards²) slices in total and dominated
+	// startup memory at the shard counts a 10^6-cell grid wants.
 	for si := 0; si < part.NumShards(); si++ {
 		t := part.Tile(si)
 		var rate float64
@@ -47,11 +51,13 @@ func RunParallel(p *driver.Parallel, spec Spec) (Stats, error) {
 				rate += r
 			}
 		}
-		p.ReserveShard(si, t.Cells()+64+int(2*rate*spec.MeanHold))
+		if err := p.ReserveShard(si, t.Cells()+64+int(1.25*rate*spec.MeanHold)); err != nil {
+			return st, err
+		}
 		if h := len(t.Halo); h > 0 {
-			for di := 0; di < part.NumShards(); di++ {
-				if di != si {
-					p.ReserveOutbox(si, di, 4*h)
+			for _, di := range part.NeighborShards(si) {
+				if err := p.ReserveOutbox(si, int(di), 4*h); err != nil {
+					return st, err
 				}
 			}
 		}
