@@ -574,6 +574,11 @@ type Workload struct {
 	DurationTicks, WarmupTicks int64
 	// Seed drives the workload randomness.
 	Seed uint64
+	// WarmStart seeds every cell's stationary Erlang occupancy as
+	// in-progress calls before tick 0 (O(cells) setup instead of
+	// simulating ≳ one mean hold of ramp-up). Seeded calls are not
+	// counted as offered.
+	WarmStart bool
 }
 
 // WorkloadStats reports a workload run.
@@ -635,6 +640,7 @@ func workloadSpec(grid *hexgrid.Grid, w Workload) (traffic.Spec, error) {
 		Duration:    sim.Time(w.DurationTicks),
 		Warmup:      sim.Time(w.WarmupTicks),
 		Seed:        w.Seed,
+		WarmStart:   w.WarmStart,
 	}, nil
 }
 

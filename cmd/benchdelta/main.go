@@ -226,17 +226,38 @@ const maxRoutesPerShard = 10
 //     the serial kernel's allocation counts are.
 //
 // Events/sec is timing, so it only warns unless -strict.
+// steadyOccupancyFloor is the borrow-heavy floor the steady section
+// must reach: below it the warm-started grid is not actually under
+// pressure and the "under load" numbers would silently measure idle
+// machinery.
+const steadyOccupancyFloor = 0.8
+
 func checkScale(base, cur experiments.BenchReport, threshold float64, strict bool) bool {
+	ok := checkScaleGrids("scale", base.Scale.Grids, cur.Scale.Grids,
+		base.Quick == cur.Quick, threshold, strict, false)
+	if !checkScaleGrids("steady", base.Scale.Steady, cur.Scale.Steady,
+		base.Quick == cur.Quick, threshold, strict, true) {
+		ok = false
+	}
+	return ok
+}
+
+// checkScaleGrids gates one grid list of the scale section. The steady
+// list adds the load gates: measured occupancy at or above the
+// borrow-heavy floor and a nonzero borrow-attempt count, both hard —
+// a steady bench that is not borrowing is a broken bench, whatever its
+// events/sec says.
+func checkScaleGrids(label string, baseList, curList []experiments.ScaleGridBench, sameMode bool, threshold float64, strict, steady bool) bool {
 	ok := true
 	fail := func(format string, args ...any) {
-		fmt.Printf("  scale: FAIL "+format+"\n", args...)
+		fmt.Printf("  %s: FAIL "+format+"\n", append([]any{label}, args...)...)
 		ok = false
 	}
 	baseGrids := make(map[string]experiments.ScaleGridBench)
-	for _, g := range base.Scale.Grids {
+	for _, g := range baseList {
 		baseGrids[g.Grid] = g
 	}
-	for _, g := range cur.Scale.Grids {
+	for _, g := range curList {
 		shardCounts := make(map[int]bool)
 		workerCounts := make(map[int]bool)
 		for _, r := range g.Runs {
@@ -255,8 +276,18 @@ func checkScale(base, cur experiments.BenchReport, threshold float64, strict boo
 			fail("%s max routes per shard %d > %d (cross-shard routing no longer sparse)",
 				g.Grid, g.MaxRoutesPerShard, maxRoutesPerShard)
 		}
+		if steady {
+			if g.MeanOccupancy < steadyOccupancyFloor {
+				fail("%s mean occupancy %.3f below the borrow-heavy floor %.2f (bench is idling, not under pressure)",
+					g.Grid, g.MeanOccupancy, steadyOccupancyFloor)
+			}
+			if g.BorrowAttempts == 0 {
+				fail("%s recorded zero borrow attempts — the steady workload never exercised the borrow path",
+					g.Grid)
+			}
+		}
 		bg, found := baseGrids[g.Grid]
-		if found && base.Quick == cur.Quick && bg.Hash != g.Hash {
+		if found && sameMode && bg.Hash != g.Hash {
 			fail("%s trajectory hash drifted %.12s -> %.12s (simulation outcome changed)",
 				g.Grid, bg.Hash, g.Hash)
 		}
@@ -268,12 +299,12 @@ func checkScale(base, cur experiments.BenchReport, threshold float64, strict boo
 				ok = false
 			}
 			fmt.Printf("  %-22s %10.4g -> %10.4g  (%+.1f%%)  %s\n",
-				"scale "+g.Grid+" B/cell", bg.BytesPerCell, g.BytesPerCell, 100*delta, status)
+				label+" "+g.Grid+" B/cell", bg.BytesPerCell, g.BytesPerCell, 100*delta, status)
 		}
 		if n := len(g.Runs); n > 0 {
 			first := g.Runs[0]
 			status := "ok"
-			if found && base.Quick == cur.Quick {
+			if found && sameMode {
 				for _, br := range bg.Runs {
 					if br.Shards != first.Shards || br.Workers != first.Workers || br.EventsPerSec <= 0 {
 						continue
@@ -289,10 +320,27 @@ func checkScale(base, cur experiments.BenchReport, threshold float64, strict boo
 				}
 			}
 			fmt.Printf("  %-22s %10.4g ev/s, %d runs, peak RSS %.1f GiB  %s\n",
-				"scale "+g.Grid, first.EventsPerSec, n, float64(g.PeakRSSBytes)/(1<<30), status)
+				label+" "+g.Grid, first.EventsPerSec, n, float64(g.PeakRSSBytes)/(1<<30), status)
+			if steady {
+				// Min setup across runs: the first combo's figure folds in
+				// one-time page faults and lazy allocations as the process
+				// RSS climbs, which is not the cost of seeding itself.
+				setup := first.SetupSeconds
+				for _, r := range g.Runs {
+					if r.SetupSeconds > 0 && r.SetupSeconds < setup {
+						setup = r.SetupSeconds
+					}
+				}
+				// RampEstSeconds is the measured cost of ONE simulated
+				// mean-hold; reaching stationarity by simulation takes
+				// several, so the printed ramp figure is a floor.
+				fmt.Printf("  %-22s occupancy %.3f, %.4g borrow/s, warm-start %.2fs vs ≥%.1fs simulated ramp (3+ mean-holds)\n",
+					label+" "+g.Grid+" load", g.MeanOccupancy, g.BorrowAttemptsPerSec,
+					setup, 3*g.RampEstSeconds)
+			}
 		}
 	}
-	if len(cur.Scale.Grids) == 0 && len(base.Scale.Grids) > 0 {
+	if len(curList) == 0 && len(baseList) > 0 {
 		fail("section missing from current report but present in baseline")
 	}
 	return ok

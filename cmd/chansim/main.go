@@ -61,6 +61,7 @@ func main() {
 		hold      = flag.Float64("hold", 3000, "mean call duration (ticks)")
 		duration  = flag.Int64("duration", 200_000, "arrival window (ticks)")
 		warmup    = flag.Int64("warmup", 20_000, "warmup excluded from stats (ticks)")
+		warmStart = flag.Bool("warm-start", false, "seed stationary Erlang occupancy before tick 0 (skip the ramp-up transient)")
 		seed      = flag.Uint64("seed", 1, "random seed (runs are deterministic per seed)")
 		check     = flag.Bool("check", true, "verify the interference invariant on every grant")
 		shards    = flag.Int("shards", 0, "run on the sharded parallel driver with this many shards (0 = serial)")
@@ -103,6 +104,7 @@ func main() {
 		DurationTicks: *duration,
 		WarmupTicks:   *warmup,
 		Seed:          *seed,
+		WarmStart:     *warmStart,
 	}
 	hotRadius := 0
 	if *config != "" {
@@ -122,7 +124,10 @@ func main() {
 			JitterTicks:       file.JitterTicks,
 			Seed:              file.Seed,
 			MaxRounds:         file.MaxRounds,
-			CheckInterference: true,
+			// Honor -check so giant-grid scenarios can skip the O(cells ×
+			// neighbors) invariant sweep at every window barrier; the
+			// default keeps config runs checked.
+			CheckInterference: *check,
 		}
 		if a := file.Adaptive; a != nil {
 			sc.Adaptive = &adca.AdaptiveParams{
@@ -143,6 +148,8 @@ func main() {
 			w.HandoffRate = wl.HandoffRate
 			w.DurationTicks = wl.DurationTicks
 			w.WarmupTicks = wl.WarmupTicks
+			// -warm-start also works as an override on top of a file.
+			w.WarmStart = wl.WarmStart || *warmStart
 			if h := wl.Hotspot; h != nil {
 				w.HotErlang = h.Erlang
 				hotRadius = h.Radius

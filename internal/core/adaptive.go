@@ -248,10 +248,24 @@ type Adaptive struct {
 
 	mode    int
 	updateS []bool // UpdateS_i, by neighbor index
-	deferQ  []deferred
-	waiting int
-	pending bool
-	rounds  int
+	// updateSMask mirrors updateS as a bitmask over neighbor indices
+	// whenever the neighborhood fits in one word (reuse distance 2 has
+	// 18 interior neighbors; updates to indices >= 64 are skipped and
+	// the mask goes unused). nbrMasks[k] — built lazily with candSets —
+	// marks which of this cell's neighbors also interfere with
+	// neighbors[k], so best() counts |UpdateS_i ∩ IN_j| with one
+	// AND+popcount instead of a binary search per member of IN_j, the
+	// dominant cost of candidate gathering under steady borrow load.
+	updateSMask uint64
+	nbrMasks    []uint64
+	deferQ      []deferred
+	// deferSpare recycles the drained defer queue's backing array:
+	// under borrow pressure a hot cell defers and drains continuously,
+	// and reallocating the queue on every cycle showed up as churn.
+	deferSpare []deferred
+	waiting    int
+	pending    bool
+	rounds     int
 
 	// pred forecasts the free-primary count for check_mode; strategy
 	// ranks lenders in best(). Both default to the paper's policies

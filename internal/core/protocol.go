@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
+
 	"repro/internal/alloc"
 
 	"repro/internal/chanset"
@@ -303,9 +305,13 @@ func (a *Adaptive) acquire(ch chanset.Channel) {
 		})
 		a.mode = ModeBorrow
 	}
-	// Drain DeferQ_i.
+	// Drain DeferQ_i, swapping in the spare backing array so the two
+	// buffers ping-pong instead of reallocating every cycle. Iterating
+	// q while new deferrals append to a.deferQ is safe: env.Send only
+	// schedules future deliveries, so nothing runs a handler mid-drain.
 	q := a.deferQ
-	a.deferQ = nil
+	a.deferQ = a.deferSpare[:0]
+	a.deferSpare = q
 	if len(q) > 0 {
 		a.obs.DeferQueueDepth.Add(-float64(len(q)))
 	}
@@ -564,7 +570,15 @@ func (a *Adaptive) onResponse(m message.Message) {
 // onChangeMode is Figure 5.
 func (a *Adaptive) onChangeMode(m message.Message) {
 	if idx := a.nbrIdx(m.From); idx >= 0 {
-		a.updateS[idx] = m.Mode != message.ModeLocal
+		borrowing := m.Mode != message.ModeLocal
+		a.updateS[idx] = borrowing
+		if idx < 64 {
+			if borrowing {
+				a.updateSMask |= 1 << uint(idx)
+			} else {
+				a.updateSMask &^= 1 << uint(idx)
+			}
+		}
 	}
 	a.env.Send(message.Message{
 		Kind: message.Response, Res: message.ResStatus,
@@ -612,9 +626,24 @@ func (a *Adaptive) best() hexgrid.CellID {
 	if a.candSets == nil {
 		// First borrow attempt of this cell's lifetime: candidate sets
 		// are only needed on the (rarer) borrowing path, so the slab is
-		// deferred until then.
+		// deferred until then — as is nbrMasks, the per-neighbor
+		// interference overlap precomputed as bitmasks over this cell's
+		// neighbor indices (grids whose neighborhoods exceed one word
+		// keep the scan below).
 		a.candSets = a.neighborSets()
 		a.cands = make([]LenderCandidate, 0, len(a.neighbors))
+		if len(a.neighbors) <= 64 {
+			a.nbrMasks = make([]uint64, len(a.neighbors))
+			for ji, j := range a.neighbors {
+				var m uint64
+				for _, k := range a.factory.grid.Interference(j) {
+					if idx := a.nbrIdx(k); idx >= 0 {
+						m |= 1 << uint(idx)
+					}
+				}
+				a.nbrMasks[ji] = m
+			}
+		}
 	}
 	cands := a.cands[:0]
 	for ji, j := range a.neighbors {
@@ -628,10 +657,14 @@ func (a *Adaptive) best() hexgrid.CellID {
 		if set.Empty() {
 			continue // nothing to borrow from j
 		}
-		bn := 0
-		for _, k := range a.factory.grid.Interference(j) {
-			if a.isUpdateS(k) {
-				bn++ // |UpdateS_i ∩ IN_j|
+		var bn int
+		if a.nbrMasks != nil {
+			bn = bits.OnesCount64(a.updateSMask & a.nbrMasks[ji])
+		} else {
+			for _, k := range a.factory.grid.Interference(j) {
+				if a.isUpdateS(k) {
+					bn++ // |UpdateS_i ∩ IN_j|
+				}
 			}
 		}
 		cands = append(cands, LenderCandidate{

@@ -114,6 +114,7 @@ type parShard struct {
 	delayHist *metrics.Histogram
 	grants    uint64
 	denies    uint64
+	releases  uint64
 	lastAt    map[parLink]sim.Time // per-link FIFO clamp under jitter
 	wireBuf   []byte
 	_         [64]byte
@@ -325,6 +326,21 @@ func (p *Parallel) Release(cell hexgrid.CellID, ch chanset.Channel) {
 	if err := p.allocs[cell].Release(ch); err != nil {
 		panic(err)
 	}
+	sh.releases++
+}
+
+// ActiveCalls returns the number of channels currently held across the
+// grid (grants minus releases). Only safe while the kernel is parked —
+// before Run, at a window barrier, or after Run/Drain returns — since
+// shard workers update the counters mid-window. The scale bench samples
+// it at barriers to report measured occupancy.
+func (p *Parallel) ActiveCalls() uint64 {
+	var n uint64
+	for i := range p.shards {
+		sh := &p.shards[i]
+		n += sh.grants - sh.releases
+	}
+	return n
 }
 
 // Run advances all shards in lockstep windows to until.

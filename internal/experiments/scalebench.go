@@ -32,10 +32,25 @@ import (
 type ScaleRun struct {
 	Shards  int `json:"shards"`
 	Workers int `json:"workers"`
-	// WallSeconds covers the simulation only (construction excluded).
+	// SetupSeconds covers workload priming — kernel reserves plus, in
+	// the steady section, the O(cells) warm-start seeding that replaces
+	// a simulated ramp (compare against the grid's RampEstSeconds).
+	SetupSeconds float64 `json:"setup_seconds,omitempty"`
+	// WallSeconds covers the simulation only (construction and priming
+	// excluded).
 	WallSeconds float64 `json:"wall_seconds"`
 	// EventsPerSec = kernel events / WallSeconds.
 	EventsPerSec float64 `json:"events_per_sec"`
+	// MeanOccupancy is held channels / Σ primary allocations, sampled
+	// at every window barrier inside [warmup, duration]: how loaded the
+	// grid actually was, so a silently-idle bench is visible in the
+	// artifact. Identical across combinations by determinism.
+	MeanOccupancy float64 `json:"mean_occupancy"`
+	// BorrowAttempts counts borrow-path rounds over the whole run:
+	// update-permission rounds (successful or not) plus search rounds
+	// (every one ends in a search grant or a drop). Identical across
+	// combinations by determinism.
+	BorrowAttempts uint64 `json:"borrow_attempts"`
 	// Hash is this run's trajectory hash; must equal the grid's.
 	Hash string `json:"trajectory_hash"`
 }
@@ -69,22 +84,41 @@ type ScaleGridBench struct {
 	// shard materialised at the highest shard count — the sparse-routing
 	// guarantee (O(neighbor shards), not O(shards)) read off the run.
 	MaxRoutesPerShard int `json:"max_routes_per_shard"`
+	// MeanOccupancy and BorrowAttempts lift the per-run values (equal
+	// across combinations) to grid level; BorrowAttemptsPerSec uses the
+	// first combination's wall clock.
+	MeanOccupancy        float64 `json:"mean_occupancy"`
+	BorrowAttempts       uint64  `json:"borrow_attempts"`
+	BorrowAttemptsPerSec float64 `json:"borrow_attempts_per_sec"`
+	// RampEstSeconds (steady section only) estimates the wall-clock of
+	// reaching stationary occupancy the old way — simulating one mean
+	// hold of ramp at the first combination's measured event rate —
+	// against which each run's SetupSeconds is the warm-start actual.
+	RampEstSeconds float64 `json:"ramp_est_seconds,omitempty"`
 	// Runs are the per-combination measurements.
 	Runs []ScaleRun `json:"runs"`
 }
 
-// ScaleBench is the "scale" section of the bench report.
+// ScaleBench is the "scale" section of the bench report. Grids is the
+// arrival-ramp workload that pins construction footprint and kernel
+// throughput from a cold grid; Steady is the warm-started hot-spot
+// workload that measures the same lattices *under borrowing pressure*
+// (stationary ~0.9 occupancy, five stationary hot zones pushed past
+// their primary allocations).
 type ScaleBench struct {
-	Grids []ScaleGridBench `json:"grids"`
+	Grids  []ScaleGridBench `json:"grids"`
+	Steady []ScaleGridBench `json:"steady,omitempty"`
 }
 
 // scaleGridSpec fixes one benchmark lattice. Shard and worker counts
 // are part of the scenario (machine-independent), so the trajectory
-// hash reproduces on any host.
+// hash reproduces on any host. steady switches the workload from the
+// cold arrival ramp to the warm-started hot-spot profile.
 type scaleGridSpec struct {
 	name          string
 	width, height int
 	duration      sim.Time
+	steady        bool
 }
 
 func scaleGrids(quick bool) []scaleGridSpec {
@@ -96,6 +130,22 @@ func scaleGrids(quick bool) []scaleGridSpec {
 	return []scaleGridSpec{
 		{name: "500x500", width: 500, height: 500, duration: 900},
 		{name: "1000x1000", width: 1000, height: 1000, duration: 450},
+	}
+}
+
+// steadyGrids lists the warm-started steady-state lattices. The arrival
+// window can be short — occupancy starts stationary — but held calls
+// still drain to quiescence, so most of the measured events are the
+// borrow/release churn of a loaded grid, not ramp-up.
+func steadyGrids(quick bool) []scaleGridSpec {
+	if quick {
+		return []scaleGridSpec{
+			{name: "500x500", width: 500, height: 500, duration: 150, steady: true},
+		}
+	}
+	return []scaleGridSpec{
+		{name: "500x500", width: 500, height: 500, duration: 300, steady: true},
+		{name: "1000x1000", width: 1000, height: 1000, duration: 300, steady: true},
 	}
 }
 
@@ -120,7 +170,56 @@ func RunScaleBench(quick bool) (ScaleBench, error) {
 		}
 		out.Grids = append(out.Grids, gb)
 	}
+	for _, gs := range steadyGrids(quick) {
+		gb, err := runScaleGrid(gs)
+		if err != nil {
+			return ScaleBench{}, err
+		}
+		out.Steady = append(out.Steady, gb)
+	}
 	return out, nil
+}
+
+// Steady-workload constants: a base load at 90% of the 10-primary
+// allocation plus five stationary hot zones pushed well past it, so
+// borrow/search rounds, defer queues and cross-shard interference
+// traffic run continuously.
+const (
+	steadyErlang    = 9.0
+	steadyHotErlang = 13.5
+	steadyHotRadius = 2
+)
+
+// steadyProfile builds the hot-spot-at-scale profile: steadyErlang
+// everywhere with steadyHotErlang zones at the four quarter points and
+// the center of the lattice, active for the whole arrival window (the
+// ProfileSpec vocabulary scenarios use, so the bench workload is
+// expressible as a scenario file too).
+func steadyProfile(grid *hexgrid.Grid, gs scaleGridSpec, meanHold float64) (traffic.Profile, error) {
+	ps := traffic.ProfileSpec{BaseRate: steadyErlang / meanHold}
+	w, h := gs.width, gs.height
+	centers := [][2]int{
+		{w / 4, h / 4}, {3 * w / 4, h / 4},
+		{w / 4, 3 * h / 4}, {3 * w / 4, 3 * h / 4},
+		{w / 2, h / 2},
+	}
+	for _, c := range centers {
+		ps.Phases = append(ps.Phases, traffic.PhaseSpec{
+			Center: hexgrid.CellID(c[1]*w + c[0]), // Rect id = row*width+col
+			Radius: steadyHotRadius,
+			Rate:   steadyHotErlang / meanHold,
+			Start:  0,
+			End:    gs.duration + 1,
+		})
+	}
+	return traffic.BuildProfile(grid, ps)
+}
+
+// borrowAttempts counts the borrow-path rounds recorded in the driver
+// counters: update-permission rounds (successful or not) plus search
+// rounds, each of which ends in a search grant or a drop.
+func borrowAttempts(st driver.Stats) uint64 {
+	return st.Counters.UpdateAttempts + st.Counters.GrantsSearch + st.Counters.Drops
 }
 
 func runScaleGrid(gs scaleGridSpec) (ScaleGridBench, error) {
@@ -140,6 +239,25 @@ func runScaleGrid(gs scaleGridSpec) (ScaleGridBench, error) {
 		meanHold = 3000.0
 		erlang   = 9.0 // 90% of the 10-primary set: heavy borrowing
 	)
+	spec := traffic.Spec{
+		Profile:  traffic.Uniform{PerCell: erlang / meanHold},
+		MeanHold: meanHold,
+		Duration: gs.duration,
+		Warmup:   gs.duration / 5,
+		Seed:     101,
+	}
+	if gs.steady {
+		profile, err := steadyProfile(grid, gs, meanHold)
+		if err != nil {
+			return ScaleGridBench{}, err
+		}
+		spec.Profile = profile
+		spec.WarmStart = true
+	}
+	var capacity uint64
+	for c := range assign.Primary {
+		capacity += uint64(assign.Primary[c].Len())
+	}
 	gb := ScaleGridBench{Grid: gs.name, Cells: grid.NumCells()}
 	resetPeakRSS()
 	for _, combo := range scaleCombos() {
@@ -167,11 +285,15 @@ func runScaleGrid(gs scaleGridSpec) (ScaleGridBench, error) {
 			gb.BytesPerCell = float64(m1.HeapAlloc-m0.HeapAlloc) / float64(gb.Cells)
 		}
 		// Sample the live heap at window barriers (every 8th window: a
-		// ReadMemStats per window would tax short windows). Safe because
-		// the bench does not use ParallelOptions.Check, the only other
-		// SetBarrier client.
-		var window uint64
-		p.Kernel().SetBarrier(func() {
+		// ReadMemStats per window would tax short windows) and the
+		// held-channel count inside [warmup, duration] for measured
+		// occupancy. Safe because the bench does not use
+		// ParallelOptions.Check, the only other SetBarrier client. The
+		// occupancy samples are integer counts taken at deterministic
+		// barrier times, so MeanOccupancy is identical across combos.
+		var window, occSum, occN uint64
+		kern := p.Kernel()
+		kern.SetBarrier(func() {
 			if window++; window%8 == 0 {
 				var ms runtime.MemStats
 				runtime.ReadMemStats(&ms)
@@ -179,16 +301,26 @@ func runScaleGrid(gs scaleGridSpec) (ScaleGridBench, error) {
 					gb.PeakHeapBytes = ms.HeapAlloc
 				}
 			}
+			var now sim.Time
+			for s := 0; s < kern.NumShards(); s++ {
+				if t := kern.Now(s); t > now {
+					now = t
+				}
+			}
+			if now >= spec.Warmup && now <= spec.Duration {
+				occSum += p.ActiveCalls()
+				occN++
+			}
 		})
 		runtime.GC()
 		t0 := time.Now()
-		ts, err := traffic.RunParallel(p, traffic.Spec{
-			Profile:  traffic.Uniform{PerCell: erlang / meanHold},
-			MeanHold: meanHold,
-			Duration: gs.duration,
-			Warmup:   gs.duration / 5,
-			Seed:     101,
-		})
+		primed, err := traffic.PrimeParallel(p, spec)
+		if err != nil {
+			return ScaleGridBench{}, err
+		}
+		setup := time.Since(t0)
+		t0 = time.Now()
+		ts, err := primed.Finish()
 		if err != nil {
 			return ScaleGridBench{}, err
 		}
@@ -197,11 +329,19 @@ func runScaleGrid(gs scaleGridSpec) (ScaleGridBench, error) {
 			return ScaleGridBench{}, err
 		}
 		events := p.Kernel().Executed()
+		st := p.Stats()
 		run := ScaleRun{
-			Shards:      shards,
-			Workers:     workers,
-			WallSeconds: wall.Seconds(),
-			Hash:        trajectoryHash(p.Stats(), ts),
+			Shards:         shards,
+			Workers:        workers,
+			WallSeconds:    wall.Seconds(),
+			BorrowAttempts: borrowAttempts(st),
+			Hash:           trajectoryHash(st, ts),
+		}
+		if gs.steady {
+			run.SetupSeconds = setup.Seconds()
+		}
+		if occN > 0 && capacity > 0 {
+			run.MeanOccupancy = float64(occSum) / float64(occN) / float64(capacity)
 		}
 		if wall > 0 {
 			run.EventsPerSec = float64(events) / wall.Seconds()
@@ -209,6 +349,26 @@ func runScaleGrid(gs scaleGridSpec) (ScaleGridBench, error) {
 		if len(gb.Runs) == 0 {
 			gb.Events = events
 			gb.Hash = run.Hash
+			gb.MeanOccupancy = run.MeanOccupancy
+			gb.BorrowAttempts = run.BorrowAttempts
+			if wall > 0 {
+				gb.BorrowAttemptsPerSec = float64(run.BorrowAttempts) / wall.Seconds()
+				if gs.steady {
+					// One mean hold of simulated ramp at this run's event
+					// rate — what warm-start seeding replaced. The run
+					// spans duration + drain; scale wall-clock to
+					// meanHold ticks of it.
+					var span sim.Time
+					for s := 0; s < kern.NumShards(); s++ {
+						if t := kern.Now(s); t > span {
+							span = t
+						}
+					}
+					if span > 0 {
+						gb.RampEstSeconds = wall.Seconds() * meanHold / float64(span)
+					}
+				}
+			}
 		} else {
 			if events != gb.Events {
 				return ScaleGridBench{}, fmt.Errorf(
@@ -219,6 +379,11 @@ func runScaleGrid(gs scaleGridSpec) (ScaleGridBench, error) {
 				return ScaleGridBench{}, fmt.Errorf(
 					"scalebench %s: shards=%d workers=%d trajectory hash %s != first combo hash %s — determinism broken",
 					gs.name, shards, workers, run.Hash, gb.Hash)
+			}
+			if run.MeanOccupancy != gb.MeanOccupancy || run.BorrowAttempts != gb.BorrowAttempts {
+				return ScaleGridBench{}, fmt.Errorf(
+					"scalebench %s: shards=%d workers=%d occupancy/borrow (%v, %d) != first combo (%v, %d) — determinism broken",
+					gs.name, shards, workers, run.MeanOccupancy, run.BorrowAttempts, gb.MeanOccupancy, gb.BorrowAttempts)
 			}
 		}
 		if shards == maxScaleShards() {

@@ -119,9 +119,12 @@ type Workload struct {
 	HandoffRate   float64  `json:"handoff_rate"`
 	DurationTicks int64    `json:"duration_ticks"`
 	WarmupTicks   int64    `json:"warmup_ticks"`
-	Hotspot       *Hotspot `json:"hotspot"`
-	Phases        []Phase  `json:"phases"`
-	Diurnal       *Diurnal `json:"diurnal"`
+	// WarmStart seeds every cell's stationary Erlang occupancy before
+	// tick 0 instead of simulating the ramp-up transient.
+	WarmStart bool     `json:"warm_start"`
+	Hotspot   *Hotspot `json:"hotspot"`
+	Phases    []Phase  `json:"phases"`
+	Diurnal   *Diurnal `json:"diurnal"`
 }
 
 // Scenario is the top-level JSON document.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -249,6 +250,41 @@ func TestExpTicksPositive(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		if d := r.ExpTicks(0.01); d < 1 {
 			t.Fatalf("ExpTicks returned %d < 1", d)
+		}
+	}
+}
+
+// TestPoissonMeanAndVariance checks the sampler at a small and a large
+// mean (the log-space form must not degrade where exp(-mean)
+// underflows) plus the edge cases the warm-start seeder relies on.
+func TestPoissonMeanAndVariance(t *testing.T) {
+	r := NewRand(17)
+	for _, mean := range []float64{0.3, 9, 800} {
+		const n = 20000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			k := float64(r.Poisson(mean))
+			sum += k
+			sumSq += k * k
+		}
+		m := sum / n
+		v := sumSq/n - m*m
+		// Poisson: mean == variance; 5σ tolerance on the sample mean.
+		tol := 5 * math.Sqrt(mean/n)
+		if math.Abs(m-mean) > tol {
+			t.Fatalf("Poisson(%v) sample mean = %v, want within %v", mean, m, tol)
+		}
+		if v < mean*0.9 || v > mean*1.1 {
+			t.Fatalf("Poisson(%v) sample variance = %v, want ~%v", mean, v, mean)
+		}
+	}
+	if NewRand(1).Poisson(0) != 0 || NewRand(1).Poisson(-3) != 0 {
+		t.Fatal("non-positive mean must yield 0")
+	}
+	a, b := NewRand(23), NewRand(23)
+	for i := 0; i < 100; i++ {
+		if a.Poisson(9) != b.Poisson(9) {
+			t.Fatal("same seed must reproduce the Poisson stream")
 		}
 	}
 }

@@ -66,6 +66,25 @@ type pshard struct {
 	_ [64]byte
 }
 
+// findRoute returns the mailbox for destination dst, or nil when the
+// shard has never sent to dst. Read-only: safe for concurrent use from
+// flush workers as long as no route is being created.
+func (s *pshard) findRoute(dst int32) *outRoute {
+	lo, hi := 0, len(s.routes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.routes[mid].dst < dst {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.routes) && s.routes[lo].dst == dst {
+		return &s.routes[lo]
+	}
+	return nil
+}
+
 // route returns the mailbox for destination dst, creating it in sorted
 // position on first use.
 func (s *pshard) route(dst int32) *outRoute {
@@ -106,6 +125,15 @@ type Shards struct {
 	// instead of silently attempting a huge allocation.
 	reservedBytes uint64
 	reserveBudget uint64
+	// inbound[dst] lists the source shards (ascending) that have
+	// materialized a mailbox to dst; routeCount[src] is len(routes) at
+	// the last inbound build. Together they let flush distribute the
+	// barrier merge across workers by destination — each dst heap is
+	// touched by exactly one goroutine, and pushing in ascending-src,
+	// then append, order reproduces the serial merge's heap layout
+	// byte-for-byte. Rebuilt lazily when any shard grows a new route.
+	inbound    [][]int32
+	routeCount []int
 }
 
 // DefaultReserveBudget caps the cumulative event capacity (in bytes) a
@@ -363,11 +391,38 @@ func (s *pshard) runWindow(horizon Time) {
 	}
 }
 
-// flush merges every mailbox into its destination heap. Runs on the
-// coordinator between windows; the merge order (ascending src, then
-// append order) is fixed, though execution order depends only on the
-// canonical keys assigned at scheduling time.
-func (k *Shards) flush() {
+// parallelFlushThreshold is the minimum number of boxed cross-shard
+// events per barrier before flush fans the merge out to workers. Below
+// it the goroutine handoff costs more than the pushes; counting is
+// O(materialized routes), which sparse routing keeps tiny.
+const parallelFlushThreshold = 4096
+
+// flush merges every mailbox into its destination heap. Runs at the
+// window barrier; the per-destination merge order (ascending src, then
+// append order) is fixed regardless of the path taken, so heap layouts
+// — and therefore trajectories — are identical at any worker count.
+// Under borrow pressure at large shard counts the merge is a measurable
+// slice of the barrier, so when enough events are boxed it runs
+// destination-parallel: each dst heap is owned by exactly one worker.
+func (k *Shards) flush(workers int) {
+	total := 0
+	for si := range k.shards {
+		for ri := range k.shards[si].routes {
+			total += len(k.shards[si].routes[ri].box)
+		}
+	}
+	if total == 0 {
+		return
+	}
+	if workers <= 1 || len(k.shards) < 2 || total < parallelFlushThreshold {
+		k.flushSerial()
+		return
+	}
+	k.flushParallel(workers)
+}
+
+// flushSerial is the coordinator-only merge path.
+func (k *Shards) flushSerial() {
 	for si := range k.shards {
 		src := &k.shards[si]
 		for ri := range src.routes {
@@ -385,6 +440,68 @@ func (k *Shards) flush() {
 			rt.box = rt.box[:0]
 		}
 	}
+}
+
+// flushParallel distributes the merge by destination shard. Routes are
+// created only by Cross/ReserveOutbox, never during flush, so the
+// inbound index is stable for the whole call and only needs rebuilding
+// when some shard materialized a new route since the last build.
+func (k *Shards) flushParallel(workers int) {
+	if k.inbound == nil {
+		k.inbound = make([][]int32, len(k.shards))
+		k.routeCount = make([]int, len(k.shards))
+	}
+	stale := false
+	for si := range k.shards {
+		if len(k.shards[si].routes) != k.routeCount[si] {
+			stale = true
+			break
+		}
+	}
+	if stale {
+		for d := range k.inbound {
+			k.inbound[d] = k.inbound[d][:0]
+		}
+		for si := range k.shards {
+			k.routeCount[si] = len(k.shards[si].routes)
+			for ri := range k.shards[si].routes {
+				d := k.shards[si].routes[ri].dst
+				k.inbound[d] = append(k.inbound[d], int32(si))
+			}
+		}
+	}
+	n := len(k.shards)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for d := w; d < n; d += workers {
+				srcs := k.inbound[d]
+				if len(srcs) == 0 {
+					continue
+				}
+				dst := &k.shards[d]
+				for _, si := range srcs {
+					rt := k.shards[si].findRoute(int32(d))
+					if rt == nil || len(rt.box) == 0 {
+						continue
+					}
+					for _, ev := range rt.box {
+						dst.push(ev)
+					}
+					for i := range rt.box {
+						rt.box[i] = pevent{}
+					}
+					rt.box = rt.box[:0]
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // minDue returns the earliest queued event time across all shards, or
@@ -454,7 +571,7 @@ func (k *Shards) run(workers int, until Time, maxEvents uint64) uint64 {
 	}
 	start := k.Executed()
 	for k.Executed()-start < maxEvents {
-		k.flush()
+		k.flush(workers)
 		wlow, ok := k.minDue()
 		if !ok || wlow > until {
 			break

@@ -95,6 +95,30 @@ func (r *Rand) ExpTicks(mean float64) Time {
 	return t
 }
 
+// Poisson returns a Poisson-distributed count with the given mean
+// (Knuth's product-of-uniforms, run in log space so it stays exact for
+// any mean instead of underflowing exp(-mean) near mean ~ 700). Cost is
+// O(mean) uniform draws; the warm-start seeder uses it to draw each
+// cell's stationary Erlang occupancy.
+func (r *Rand) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	k := 0
+	logp := 0.0
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue // Float64 is [0, 1); log needs (0, 1]
+		}
+		logp += math.Log(u)
+		if logp < -mean {
+			return k
+		}
+		k++
+	}
+}
+
 // Perm fills a permutation of [0, n) using Fisher-Yates.
 func (r *Rand) Perm(n int) []int {
 	p := make([]int, n)

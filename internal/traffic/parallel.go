@@ -26,8 +26,29 @@ import (
 // cross-shard event. Handoff tallies are per shard and merged in shard
 // order, like Offered/Blocked.
 func RunParallel(p *driver.Parallel, spec Spec) (Stats, error) {
-	if err := spec.validate(); err != nil {
+	r, err := PrimeParallel(p, spec)
+	if err != nil {
 		return Stats{}, err
+	}
+	return r.Finish()
+}
+
+// PrimedParallel is a seeded-but-not-yet-run parallel workload: kernel
+// reserves are placed, warm-start occupancy (Spec.WarmStart) is
+// submitted and every cell's first candidate arrival is scheduled, but
+// no simulation time has passed. Finish runs it to completion.
+type PrimedParallel struct {
+	p *driver.Parallel
+	g *pgenerator
+}
+
+// PrimeParallel validates spec and seeds the workload over p without
+// running it. The split from RunParallel exists so the scale bench can
+// time the O(cells) warm-start seeding separately from the simulation
+// it replaces; RunParallel is PrimeParallel + Finish.
+func PrimeParallel(p *driver.Parallel, spec Spec) (*PrimedParallel, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
 	}
 	n := p.Grid().NumCells()
 	st := Stats{
@@ -52,12 +73,12 @@ func RunParallel(p *driver.Parallel, spec Spec) (Stats, error) {
 			}
 		}
 		if err := p.ReserveShard(si, t.Cells()+64+int(1.25*rate*spec.MeanHold)); err != nil {
-			return st, err
+			return nil, err
 		}
 		if h := len(t.Halo); h > 0 {
 			for _, di := range part.NeighborShards(si) {
 				if err := p.ReserveOutbox(si, int(di), 4*h); err != nil {
-					return st, err
+					return nil, err
 				}
 			}
 		}
@@ -71,13 +92,26 @@ func RunParallel(p *driver.Parallel, spec Spec) (Stats, error) {
 	}
 	for i := 0; i < n; i++ {
 		cell := hexgrid.CellID(i)
-		g.scheduleArrival(cell, sim.Substream(spec.Seed, arrivalLabel+uint64(i)))
+		rng := sim.Substream(spec.Seed, arrivalLabel+uint64(i))
+		if spec.WarmStart {
+			g.warmStart(cell, rng)
+		}
+		g.scheduleArrival(cell, rng)
 	}
+	return &PrimedParallel{p: p, g: g}, nil
+}
+
+// Finish drains the primed workload to completion (arrivals stop at
+// Duration, held calls drain afterwards) and merges the per-shard
+// tallies — in shard order, so the result is deterministic.
+func (r *PrimedParallel) Finish() (Stats, error) {
+	p, g := r.p, r.g
+	st := g.stats
 	if !p.Drain(2_000_000_000) {
-		return st, fmt.Errorf("traffic: simulation did not quiesce")
+		return *st, fmt.Errorf("traffic: simulation did not quiesce")
 	}
 	if p.Outstanding() != 0 {
-		return st, fmt.Errorf("traffic: %d requests still outstanding after drain", p.Outstanding())
+		return *st, fmt.Errorf("traffic: %d requests still outstanding after drain", p.Outstanding())
 	}
 	for i := range g.tallies {
 		t := &g.tallies[i]
@@ -86,7 +120,7 @@ func RunParallel(p *driver.Parallel, spec Spec) (Stats, error) {
 		st.HandoffAttempts += t.hoAttempts
 		st.HandoffDrops += t.hoDrops
 	}
-	return st, nil
+	return *st, nil
 }
 
 // ptally is one shard's scalar counters, merged in shard order at the
@@ -113,6 +147,28 @@ type pgenerator struct {
 // worker increments them, so no synchronization is needed.
 func (g *pgenerator) tally(cell hexgrid.CellID) *ptally {
 	return &g.tallies[g.p.Partition().ShardOf(cell)]
+}
+
+// warmStart mirrors generator.warmStart on the sharded driver: cell's
+// stationary in-progress calls are submitted before tick 0 from the
+// cell's arrival substream, ahead of any arrival-gap draw. Pre-run
+// requests are legal on driver.Parallel and run the allocator of the
+// cell's own shard synchronously; seeds a saturated neighborhood cannot
+// grant immediately resolve through the borrow protocol during the run
+// (the protocol's messages are latency-delayed cross events, always
+// within the kernel's lookahead bound). Grant order is fixed by the
+// kernel's canonical (time, origin, counter) order, so seeding is
+// bit-identical across shard and worker counts.
+func (g *pgenerator) warmStart(cell hexgrid.CellID, rng *sim.Rand) {
+	k := rng.Poisson(g.spec.Profile.Rate(cell, 0) * g.spec.MeanHold)
+	for i := 0; i < k; i++ {
+		remaining := rng.ExpTicks(g.spec.MeanHold)
+		g.p.Request(cell, func(r driver.Result) {
+			if r.Granted {
+				g.continueCall(r.Cell, r.Ch, remaining)
+			}
+		})
+	}
 }
 
 // scheduleArrival plants the next candidate arrival for cell, exactly

@@ -322,17 +322,18 @@ func TestHotspotConcentratesLoad(t *testing.T) {
 // TestHandoffsCountedByEventTime pins the warmup semantics of the
 // handoff counters: like Offered and Blocked, crossings and drops are
 // gated on the time of the event itself, not on when the call was
-// admitted. Every call here is born before Warmup (arrivals stop at
-// Duration < Warmup), yet their post-warmup crossings must be counted —
-// the old per-call `measured` flag froze the decision at birth and
-// reported zero.
+// admitted. Every call here is born before Warmup (the profile ramps to
+// zero before warmup ends), yet their post-warmup crossings must be
+// counted — the old per-call `measured` flag froze the decision at
+// birth and reported zero.
 func TestHandoffsCountedByEventTime(t *testing.T) {
 	s := buildSim(t, "adaptive", 70, 12)
 	st, err := Run(s, Spec{
-		Profile:     Uniform{PerCell: 0.0005},
+		// Arrivals stop at 10_000, before warmup ends at 12_000.
+		Profile:     Ramp{From: 0.0005, To: 0, Start: 10_000, End: 10_001},
 		MeanHold:    30_000, // calls outlive the warmup boundary
 		HandoffRate: 0.0005, // a crossing every ~2000 ticks
-		Duration:    10_000, // arrivals stop before warmup ends
+		Duration:    60_000,
 		Warmup:      12_000,
 		Seed:        13,
 	})

@@ -22,10 +22,22 @@ type Spec struct {
 	HandoffRate float64
 	// Duration is when arrivals stop; held calls then drain.
 	Duration sim.Time
-	// Warmup excludes the initial transient from the statistics.
+	// Warmup excludes the initial transient from the statistics. It
+	// must be non-negative and end before Duration.
 	Warmup sim.Time
 	// Seed drives arrival, holding and mobility randomness.
 	Seed uint64
+	// WarmStart seeds every cell with its stationary Erlang occupancy
+	// before tick 0: K ~ Poisson(rate(cell, 0) × MeanHold) in-progress
+	// calls, each with a residual Exp(MeanHold) holding time (the
+	// residual of an in-progress exponential call is again exponential).
+	// O(cells) setup replaces simulating ≳ one mean hold of ramp-up.
+	// Seeded calls model traffic admitted before the run, so they are
+	// not counted in Offered/Blocked; their draws come from the cell's
+	// arrival substream ahead of the first arrival gap, keeping the
+	// schedule a pure per-cell function of (spec, seed) — bit-identical
+	// between Run and RunParallel at any shard or worker count.
+	WarmStart bool
 }
 
 // validate checks the spec fields shared by Run and RunParallel.
@@ -35,6 +47,12 @@ func (s Spec) validate() error {
 	}
 	if s.HandoffRate < 0 {
 		return fmt.Errorf("traffic: HandoffRate must be >= 0 (0 disables mobility), got %v", s.HandoffRate)
+	}
+	if s.Warmup < 0 {
+		return fmt.Errorf("traffic: Warmup must be >= 0, got %d", s.Warmup)
+	}
+	if s.Warmup >= s.Duration {
+		return fmt.Errorf("traffic: Warmup (%d) must end before Duration (%d) — no arrival would ever be measured", s.Warmup, s.Duration)
 	}
 	return nil
 }
@@ -127,7 +145,11 @@ func Run(s *driver.Sim, spec Spec) (Stats, error) {
 	}
 	for i := 0; i < n; i++ {
 		cell := hexgrid.CellID(i)
-		g.scheduleArrival(cell, sim.Substream(spec.Seed, arrivalLabel+uint64(i)))
+		rng := sim.Substream(spec.Seed, arrivalLabel+uint64(i))
+		if spec.WarmStart {
+			g.warmStart(cell, rng)
+		}
+		g.scheduleArrival(cell, rng)
 	}
 	// Run until well past Duration so calls drain; the queue empties
 	// once no arrivals are scheduled and all calls released.
@@ -161,6 +183,27 @@ type generator struct {
 	// mobility): dwell and neighbor draws for a leg are taken from the
 	// stream of the cell the leg runs in.
 	mob []*sim.Rand
+}
+
+// warmStart submits cell's stationary in-progress calls before tick 0:
+// K ~ Poisson(rate(cell, 0) × MeanHold), each with a residual
+// Exp(MeanHold) hold. The draws come from the cell's arrival substream
+// ahead of any arrival-gap draw, in the same order on the serial and
+// sharded drivers. Requests a saturated neighborhood cannot grant
+// immediately resolve through the borrow protocol during the run;
+// denied seeds simply never existed. Neither outcome touches the
+// Offered/Blocked tallies — seeded calls model traffic admitted before
+// the run began.
+func (g *generator) warmStart(cell hexgrid.CellID, rng *sim.Rand) {
+	k := rng.Poisson(g.spec.Profile.Rate(cell, 0) * g.spec.MeanHold)
+	for i := 0; i < k; i++ {
+		remaining := rng.ExpTicks(g.spec.MeanHold)
+		g.sim.Request(cell, func(r driver.Result) {
+			if r.Granted {
+				g.continueCall(r.Cell, r.Ch, remaining)
+			}
+		})
+	}
 }
 
 // scheduleArrival plants the next candidate arrival for cell using
