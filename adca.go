@@ -579,6 +579,12 @@ type Workload struct {
 	// simulating ≳ one mean hold of ramp-up). Seeded calls are not
 	// counted as offered.
 	WarmStart bool
+	// DrainHorizonTicks, when > 0, truncates the post-duration drain
+	// DurationTicks + DrainHorizonTicks into the run: later events are
+	// discarded and still-held calls force-released in canonical order,
+	// so stats over the measurement window match a full drain at a
+	// fraction of its wall-clock. 0 drains to natural quiescence.
+	DrainHorizonTicks int64
 }
 
 // WorkloadStats reports a workload run.
@@ -634,13 +640,14 @@ func workloadSpec(grid *hexgrid.Grid, w Workload) (traffic.Spec, error) {
 		return traffic.Spec{}, fmt.Errorf("adca: %w", err)
 	}
 	return traffic.Spec{
-		Profile:     profile,
-		MeanHold:    w.MeanHoldTicks,
-		HandoffRate: w.HandoffRate,
-		Duration:    sim.Time(w.DurationTicks),
-		Warmup:      sim.Time(w.WarmupTicks),
-		Seed:        w.Seed,
-		WarmStart:   w.WarmStart,
+		Profile:      profile,
+		MeanHold:     w.MeanHoldTicks,
+		HandoffRate:  w.HandoffRate,
+		Duration:     sim.Time(w.DurationTicks),
+		Warmup:       sim.Time(w.WarmupTicks),
+		Seed:         w.Seed,
+		WarmStart:    w.WarmStart,
+		DrainHorizon: sim.Time(w.DrainHorizonTicks),
 	}, nil
 }
 

@@ -247,7 +247,16 @@ func checkScale(base, cur experiments.BenchReport, threshold float64, strict boo
 // borrow-heavy floor and a nonzero borrow-attempt count, both hard —
 // a steady bench that is not borrowing is a broken bench, whatever its
 // events/sec says.
-func checkScaleGrids(label string, baseList, curList []experiments.ScaleGridBench, sameMode bool, threshold float64, strict, steady bool) bool {
+//
+// Trajectory hashes (and events/sec) compare against the baseline only
+// when the grid's drain_mode matches: a truncated drain cancels the
+// deferred requests a full drain resolves, so the two trajectories
+// legitimately differ after the arrival window and must never be
+// silently compared. What IS pinned across modes — hard — is the
+// measurement window itself: the mean occupancy and, when both reports
+// record one, the measured_hash, neither of which drain behavior can
+// touch.
+func checkScaleGrids(label string, baseList, curList []experiments.ScaleGridBench, quickMatch bool, threshold float64, strict, steady bool) bool {
 	ok := true
 	fail := func(format string, args ...any) {
 		fmt.Printf("  %s: FAIL "+format+"\n", append([]any{label}, args...)...)
@@ -287,9 +296,24 @@ func checkScaleGrids(label string, baseList, curList []experiments.ScaleGridBenc
 			}
 		}
 		bg, found := baseGrids[g.Grid]
+		sameMode := quickMatch && bg.DrainMode == g.DrainMode
 		if found && sameMode && bg.Hash != g.Hash {
 			fail("%s trajectory hash drifted %.12s -> %.12s (simulation outcome changed)",
 				g.Grid, bg.Hash, g.Hash)
+		}
+		if found && quickMatch && !sameMode {
+			fmt.Printf("  %s: %s drain_mode %q -> %q — trajectory hash not comparable, gating on measured-window stats\n",
+				label, g.Grid, bg.DrainMode, g.DrainMode)
+		}
+		if found && quickMatch {
+			if bg.MeasuredHash != "" && g.MeasuredHash != "" && bg.MeasuredHash != g.MeasuredHash {
+				fail("%s measured-window hash drifted %.12s -> %.12s (offered load or occupancy changed — drain mode cannot explain this)",
+					g.Grid, bg.MeasuredHash, g.MeasuredHash)
+			}
+			if steady && bg.MeanOccupancy > 0 && bg.MeanOccupancy != g.MeanOccupancy {
+				fail("%s measured occupancy drifted %v -> %v (barrier samples lie inside the arrival window; drain mode cannot affect them)",
+					g.Grid, bg.MeanOccupancy, g.MeanOccupancy)
+			}
 		}
 		if found && bg.BytesPerCell > 0 {
 			delta := g.BytesPerCell/bg.BytesPerCell - 1
@@ -337,6 +361,29 @@ func checkScaleGrids(label string, baseList, curList []experiments.ScaleGridBenc
 				fmt.Printf("  %-22s occupancy %.3f, %.4g borrow/s, warm-start %.2fs vs ≥%.1fs simulated ramp (3+ mean-holds)\n",
 					label+" "+g.Grid+" load", g.MeanOccupancy, g.BorrowAttemptsPerSec,
 					setup, 3*g.RampEstSeconds)
+				// Per-phase wall clock (run vs drain split), additive:
+				// older baselines predate the fields and print only the
+				// current report's split.
+				if first.RunSeconds > 0 || first.DrainSeconds > 0 {
+					var br *experiments.ScaleRun
+					if found {
+						for i := range bg.Runs {
+							if bg.Runs[i].Shards == first.Shards && bg.Runs[i].Workers == first.Workers {
+								br = &bg.Runs[i]
+								break
+							}
+						}
+					}
+					if br != nil && (br.RunSeconds > 0 || br.DrainSeconds > 0) {
+						fmt.Printf("  %-22s run %.2fs -> %.2fs, drain %.2fs -> %.2fs (wall %.2fs -> %.2fs)\n",
+							label+" "+g.Grid+" phases", br.RunSeconds, first.RunSeconds,
+							br.DrainSeconds, first.DrainSeconds, br.WallSeconds, first.WallSeconds)
+					} else {
+						fmt.Printf("  %-22s run %.2fs + drain %.2fs = wall %.2fs (%s drain)\n",
+							label+" "+g.Grid+" phases", first.RunSeconds, first.DrainSeconds,
+							first.WallSeconds, drainModeName(g.DrainMode))
+					}
+				}
 			}
 		}
 	}
@@ -344,6 +391,15 @@ func checkScaleGrids(label string, baseList, curList []experiments.ScaleGridBenc
 		fail("section missing from current report but present in baseline")
 	}
 	return ok
+}
+
+// drainModeName renders ScaleGridBench.DrainMode for display: the
+// empty string is the legacy full drain.
+func drainModeName(mode string) string {
+	if mode == "" {
+		return "full"
+	}
+	return mode
 }
 
 func load(path string) experiments.BenchReport {

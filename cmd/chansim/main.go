@@ -20,6 +20,10 @@
 // (N tiles, -workers goroutines). The trajectory — including mobility
 // (-handoff) — is bit-identical to the serial driver's at any shard and
 // worker count; only -metrics/-journal require the serial path.
+// -drain-horizon H truncates the post-duration drain H ticks after the
+// arrival window (held calls force-released in canonical order, the
+// measured window untouched; see DESIGN.md §9.8) — the way to run a
+// giant warm-started scenario without simulating every hang-up.
 //
 // Performance: -bench runs the measurement harness instead of a
 // scenario and emits a BENCH_*.json document (per-event kernel cost,
@@ -47,26 +51,27 @@ import (
 
 func main() {
 	var (
-		config    = flag.String("config", "", "load scenario from this JSON file (flags below are ignored)")
-		scheme    = flag.String("scheme", "adaptive", "allocation scheme: "+strings.Join(adca.Schemes(), ", "))
-		width     = flag.Int("width", 7, "grid width (cells)")
-		height    = flag.Int("height", 0, "grid height (0 = width)")
-		reuse     = flag.Int("reuse", 2, "co-channel reuse distance (cells)")
-		wrap      = flag.Bool("wrap", true, "wrap the grid toroidally (no boundary effects)")
-		channels  = flag.Int("channels", 70, "spectrum size")
-		latency   = flag.Int64("latency", 10, "one-way message latency T (ticks)")
-		erlang    = flag.Float64("erlang", 5, "offered load per cell (Erlang)")
-		hotErlang = flag.Float64("hot-erlang", 0, "hot-cell offered load (0 = no hotspot)")
-		handoff   = flag.Float64("handoff", 0, "per-call handoff rate (events/tick)")
-		hold      = flag.Float64("hold", 3000, "mean call duration (ticks)")
-		duration  = flag.Int64("duration", 200_000, "arrival window (ticks)")
-		warmup    = flag.Int64("warmup", 20_000, "warmup excluded from stats (ticks)")
-		warmStart = flag.Bool("warm-start", false, "seed stationary Erlang occupancy before tick 0 (skip the ramp-up transient)")
-		seed      = flag.Uint64("seed", 1, "random seed (runs are deterministic per seed)")
-		check     = flag.Bool("check", true, "verify the interference invariant on every grant")
-		shards    = flag.Int("shards", 0, "run on the sharded parallel driver with this many shards (0 = serial)")
-		predictor = flag.String("predictor", "", `adaptive NFC predictor "name[,key=val...]": `+strings.Join(adca.Predictors(), ", "))
-		lender    = flag.String("lender", "", `adaptive lender strategy "name[,key=val...]": `+strings.Join(adca.LenderStrategies(), ", "))
+		config       = flag.String("config", "", "load scenario from this JSON file (flags below are ignored)")
+		scheme       = flag.String("scheme", "adaptive", "allocation scheme: "+strings.Join(adca.Schemes(), ", "))
+		width        = flag.Int("width", 7, "grid width (cells)")
+		height       = flag.Int("height", 0, "grid height (0 = width)")
+		reuse        = flag.Int("reuse", 2, "co-channel reuse distance (cells)")
+		wrap         = flag.Bool("wrap", true, "wrap the grid toroidally (no boundary effects)")
+		channels     = flag.Int("channels", 70, "spectrum size")
+		latency      = flag.Int64("latency", 10, "one-way message latency T (ticks)")
+		erlang       = flag.Float64("erlang", 5, "offered load per cell (Erlang)")
+		hotErlang    = flag.Float64("hot-erlang", 0, "hot-cell offered load (0 = no hotspot)")
+		handoff      = flag.Float64("handoff", 0, "per-call handoff rate (events/tick)")
+		hold         = flag.Float64("hold", 3000, "mean call duration (ticks)")
+		duration     = flag.Int64("duration", 200_000, "arrival window (ticks)")
+		warmup       = flag.Int64("warmup", 20_000, "warmup excluded from stats (ticks)")
+		warmStart    = flag.Bool("warm-start", false, "seed stationary Erlang occupancy before tick 0 (skip the ramp-up transient)")
+		drainHorizon = flag.Int64("drain-horizon", 0, "truncate the post-duration drain this many ticks after duration, force-releasing held calls (0 = drain to quiescence)")
+		seed         = flag.Uint64("seed", 1, "random seed (runs are deterministic per seed)")
+		check        = flag.Bool("check", true, "verify the interference invariant on every grant")
+		shards       = flag.Int("shards", 0, "run on the sharded parallel driver with this many shards (0 = serial)")
+		predictor    = flag.String("predictor", "", `adaptive NFC predictor "name[,key=val...]": `+strings.Join(adca.Predictors(), ", "))
+		lender       = flag.String("lender", "", `adaptive lender strategy "name[,key=val...]": `+strings.Join(adca.LenderStrategies(), ", "))
 
 		metricsAddr = flag.String("metrics", "", "serve Prometheus text metrics at this address (e.g. :9090)")
 		journalPath = flag.String("journal", "", "write a JSONL event journal to this file")
@@ -98,13 +103,14 @@ func main() {
 		CheckInterference: *check,
 	}
 	w := adca.Workload{
-		ErlangPerCell: *erlang,
-		MeanHoldTicks: *hold,
-		HandoffRate:   *handoff,
-		DurationTicks: *duration,
-		WarmupTicks:   *warmup,
-		Seed:          *seed,
-		WarmStart:     *warmStart,
+		ErlangPerCell:     *erlang,
+		MeanHoldTicks:     *hold,
+		HandoffRate:       *handoff,
+		DurationTicks:     *duration,
+		WarmupTicks:       *warmup,
+		Seed:              *seed,
+		WarmStart:         *warmStart,
+		DrainHorizonTicks: *drainHorizon,
 	}
 	hotRadius := 0
 	if *config != "" {
@@ -114,16 +120,16 @@ func main() {
 			os.Exit(1)
 		}
 		sc = adca.Scenario{
-			Scheme:            file.Scheme,
-			GridWidth:         file.Grid.Width,
-			GridHeight:        file.Grid.Height,
-			ReuseDistance:     file.Grid.ReuseDistance,
-			Wrap:              file.Grid.Wrap,
-			Channels:          file.Channels,
-			LatencyTicks:      file.LatencyTicks,
-			JitterTicks:       file.JitterTicks,
-			Seed:              file.Seed,
-			MaxRounds:         file.MaxRounds,
+			Scheme:        file.Scheme,
+			GridWidth:     file.Grid.Width,
+			GridHeight:    file.Grid.Height,
+			ReuseDistance: file.Grid.ReuseDistance,
+			Wrap:          file.Grid.Wrap,
+			Channels:      file.Channels,
+			LatencyTicks:  file.LatencyTicks,
+			JitterTicks:   file.JitterTicks,
+			Seed:          file.Seed,
+			MaxRounds:     file.MaxRounds,
 			// Honor -check so giant-grid scenarios can skip the O(cells ×
 			// neighbors) invariant sweep at every window barrier; the
 			// default keeps config runs checked.
@@ -150,6 +156,11 @@ func main() {
 			w.WarmupTicks = wl.WarmupTicks
 			// -warm-start also works as an override on top of a file.
 			w.WarmStart = wl.WarmStart || *warmStart
+			// -drain-horizon likewise overrides the file when set.
+			w.DrainHorizonTicks = wl.DrainHorizonTicks
+			if *drainHorizon != 0 {
+				w.DrainHorizonTicks = *drainHorizon
+			}
 			if h := wl.Hotspot; h != nil {
 				w.HotErlang = h.Erlang
 				hotRadius = h.Radius

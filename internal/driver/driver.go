@@ -10,6 +10,7 @@ package driver
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/alloc"
 	"repro/internal/chanset"
@@ -110,6 +111,12 @@ type Sim struct {
 	// outstanding forwards. Calls are fungible tokens — any consistent
 	// matching of releases to held channels preserves system state.
 	moved map[hexgrid.CellID]map[chanset.Channel][]chanset.Channel
+	// teardown is set for the span of ForceQuiesce: protocol messages
+	// the forced releases would send are suppressed (not scheduled, not
+	// counted) — nothing can be delivered after the cutoff, and a warm
+	// giant grid would otherwise manufacture tens of millions of
+	// doomed events just to discard them.
+	teardown bool
 
 	// Aggregated statistics.
 	acqDelay   metrics.Welford // ticks, granted requests only
@@ -289,6 +296,60 @@ func (s *Sim) Run(until sim.Time) { s.engine.Run(until) }
 // queue emptied.
 func (s *Sim) Drain(maxEvents uint64) bool { return s.engine.Drain(maxEvents) }
 
+// DrainUntil executes every event at or before cutoff and parks the
+// clock there, leaving later events queued for ForceQuiesce. It reports
+// whether all due events ran (false only on the maxEvents backstop).
+func (s *Sim) DrainUntil(cutoff sim.Time, maxEvents uint64) bool {
+	return s.engine.DrainUntil(cutoff, maxEvents)
+}
+
+// ForceQuiesce terminates a truncated run at the current clock: it
+// discards every still-queued event, force-releases every held channel
+// in ascending (cell, in-use-set) order — each release goes through the
+// normal allocator path, so allocator state and traces stay canonical,
+// but with protocol sends suppressed (teardown): the messages could
+// never be delivered before the cutoff, and a warm giant grid would
+// otherwise schedule-and-discard tens of millions of them — then
+// discards what the releases did queue and cancels the remaining
+// in-flight requests in ascending id order (no callback, no grant/deny
+// count). The sharded driver performs the identical sweep, which is
+// what keeps a truncated trajectory bit-identical between the two. It
+// returns how many channels were force-released and how many requests
+// were cancelled.
+func (s *Sim) ForceQuiesce() (released, cancelled int) {
+	s.teardown = true
+	defer func() { s.teardown = false }()
+	s.engine.DiscardPending()
+	for cell := range s.allocs {
+		for {
+			use := s.allocs[cell].InUse()
+			if use.Empty() {
+				break
+			}
+			s.Release(hexgrid.CellID(cell), use.First())
+			released++
+		}
+	}
+	s.engine.DiscardPending()
+	if n := len(s.pending); n > 0 {
+		ids := make([]alloc.RequestID, 0, n)
+		for id := range s.pending {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			p := s.pending[id]
+			delete(s.pending, id)
+			s.dog.Cancelled()
+			s.obs.outstanding.Add(-1)
+			s.recycle(p)
+			cancelled++
+		}
+	}
+	clear(s.moved)
+	return released, cancelled
+}
+
 // CheckInvariant verifies Theorem 1 across the whole grid now.
 func (s *Sim) CheckInvariant() error { return s.checker.CheckAll() }
 
@@ -407,6 +468,9 @@ func (e *cellEnv) Latency() sim.Time           { return e.sim.opts.Latency }
 func (e *cellEnv) Rand() *sim.Rand             { return e.rand }
 
 func (e *cellEnv) Send(m message.Message) {
+	if e.sim.teardown {
+		return
+	}
 	if m.From != e.cell {
 		m.From = e.cell
 	}

@@ -156,6 +156,12 @@ type Parallel struct {
 	// &envs[i], with its RNG stream embedded by value.
 	envs []pcellEnv
 
+	// teardown is set for the span of ForceQuiesce (coordinator
+	// context, kernel parked — never read concurrently): protocol
+	// messages the forced releases would send are suppressed, exactly
+	// as on the serial driver.
+	teardown bool
+
 	obs simObs
 }
 
@@ -352,6 +358,75 @@ func (p *Parallel) Drain(maxEvents uint64) bool {
 	return p.kernel.Drain(p.opts.Workers, maxEvents)
 }
 
+// DrainUntil executes every event at or before cutoff — window
+// boundaries and barrier samples before the cutoff are exactly those of
+// a full Drain — and parks every shard clock there, leaving later
+// events queued for ForceQuiesce. It reports whether all due events ran
+// (false only on the maxEvents backstop).
+func (p *Parallel) DrainUntil(cutoff sim.Time, maxEvents uint64) bool {
+	return p.kernel.DrainUntil(p.opts.Workers, cutoff, maxEvents)
+}
+
+// ForceQuiesce terminates a truncated run at the current clock with the
+// same canonical sweep as the serial driver's ForceQuiesce: discard
+// queued events, force-release every held channel in ascending
+// (cell, in-use-set) order through the normal Release path (protocol
+// sends suppressed — teardown — since nothing can be delivered before
+// the cutoff), discard what the releases did queue, then cancel
+// in-flight requests in ascending id order per shard (no callback, no
+// grant/deny count).
+// Coordinator-context only: call it after DrainUntil returns, never
+// mid-window. All shard clocks are equal then, so the forced releases
+// trace at one uniform cutoff time and the merged trace reproduces the
+// serial driver's byte-for-byte. It returns how many channels were
+// force-released and how many requests were cancelled.
+func (p *Parallel) ForceQuiesce() (released, cancelled int) {
+	p.teardown = true
+	defer func() { p.teardown = false }()
+	p.kernel.DiscardPending()
+	for cell := range p.allocs {
+		for {
+			use := p.allocs[cell].InUse()
+			if use.Empty() {
+				break
+			}
+			p.Release(hexgrid.CellID(cell), use.First())
+			released++
+		}
+	}
+	p.kernel.DiscardPending()
+	for i := range p.shards {
+		sh := &p.shards[i]
+		if n := len(sh.pending); n > 0 {
+			ids := make([]alloc.RequestID, 0, n)
+			for id := range sh.pending {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			for _, id := range ids {
+				pr := sh.pending[id]
+				delete(sh.pending, id)
+				sh.dog.Cancelled()
+				p.obs.outstanding.Add(-1)
+				sh.recycle(pr)
+				cancelled++
+			}
+		}
+		clear(sh.moved)
+	}
+	return released, cancelled
+}
+
+// ShardOutstanding returns the per-shard in-flight request counts, in
+// shard order — drain diagnostics for the traffic layer's error paths.
+func (p *Parallel) ShardOutstanding() []int {
+	out := make([]int, len(p.shards))
+	for i := range p.shards {
+		out[i] = p.shards[i].dog.Outstanding()
+	}
+	return out
+}
+
 // CheckInvariant verifies Theorem 1 across the whole grid now. Only
 // safe while the kernel is parked.
 func (p *Parallel) CheckInvariant() error { return p.checker.CheckAll() }
@@ -527,6 +602,9 @@ func (e *pcellEnv) Rand() *sim.Rand             { return &e.rand }
 // entirely within the sending shard, which is what makes cross-shard
 // ordering deterministic.
 func (e *pcellEnv) Send(m message.Message) {
+	if e.p.teardown {
+		return
+	}
 	if m.From != e.cell {
 		m.From = e.cell
 	}

@@ -14,6 +14,8 @@ package experiments
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 	"runtime"
@@ -39,6 +41,13 @@ type ScaleRun struct {
 	// WallSeconds covers the simulation only (construction and priming
 	// excluded).
 	WallSeconds float64 `json:"wall_seconds"`
+	// RunSeconds and DrainSeconds (steady section only) split
+	// WallSeconds at the wall-clock instant the slowest shard clock
+	// first reached the arrival window's end: RunSeconds is the
+	// measured window plus warmup, DrainSeconds is everything after —
+	// the post-duration churn the truncated drain bounds.
+	RunSeconds   float64 `json:"run_seconds,omitempty"`
+	DrainSeconds float64 `json:"drain_seconds,omitempty"`
 	// EventsPerSec = kernel events / WallSeconds.
 	EventsPerSec float64 `json:"events_per_sec"`
 	// MeanOccupancy is held channels / Σ primary allocations, sampled
@@ -90,6 +99,22 @@ type ScaleGridBench struct {
 	MeanOccupancy        float64 `json:"mean_occupancy"`
 	BorrowAttempts       uint64  `json:"borrow_attempts"`
 	BorrowAttemptsPerSec float64 `json:"borrow_attempts_per_sec"`
+	// DrainMode records how the post-duration drain terminated:
+	// "truncated" when it was cut at Spec.DrainHorizon with held calls
+	// force-released, empty for a full drain to natural quiescence.
+	// Trajectory hashes are only comparable between reports with the
+	// same mode — the drain era resolves deferred requests that a
+	// truncated run cancels — and cmd/benchdelta refuses to compare
+	// them across modes.
+	DrainMode string `json:"drain_mode,omitempty"`
+	// MeasuredHash (steady section only) digests the statistics that
+	// are invariant across drain modes: the measurement-window offered
+	// load (arrivals stop at the duration, so truncating the drain
+	// cannot change them) and the barrier-sampled mean occupancy
+	// (sampled inside [warmup, duration], before truncation can act).
+	// cmd/benchdelta pins it across reports even when drain_mode
+	// differs, where the trajectory hash cannot be.
+	MeasuredHash string `json:"measured_hash,omitempty"`
 	// RampEstSeconds (steady section only) estimates the wall-clock of
 	// reaching stationary occupancy the old way — simulating one mean
 	// hold of ramp at the first combination's measured event rate —
@@ -190,6 +215,34 @@ const (
 	steadyHotRadius = 2
 )
 
+// steadyDrainHorizon truncates the steady section's post-duration
+// drain: held calls get this many ticks past the arrival window to
+// resolve naturally (ten message latencies — several complete borrow
+// rounds, so protocol exchanges in flight at the window's edge finish
+// on their own), then the remainder are force-released in canonical
+// order. Every statistic the bench reports is fixed by events at or
+// before the window's end, so the horizon's size is a wall-clock
+// knob, not a correctness one (the traffic truncation suite asserts
+// the measured window bit-exact at any horizon); it is kept small
+// because a warm grid's hang-up churn costs run-phase money for every
+// extra tick — the tail truncation exists to skip.
+const steadyDrainHorizon = sim.Time(100)
+
+// measuredHash digests the drain-mode-invariant outcome of a steady
+// run: the measurement-window offered load per cell plus the
+// barrier-sampled mean occupancy. Unlike the trajectory hash it is
+// comparable between a truncated and a full-drain report, because
+// nothing it covers can be affected by events after the arrival
+// window ends.
+func measuredHash(ts traffic.Stats, occupancy float64) string {
+	h := sha256.New()
+	hashU64s(h, ts.Offered, floatBits(occupancy))
+	for _, v := range ts.PerCellOffered {
+		hashU64s(h, v)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // steadyProfile builds the hot-spot-at-scale profile: steadyErlang
 // everywhere with steadyHotErlang zones at the four quarter points and
 // the center of the lattice, active for the whole arrival window (the
@@ -253,6 +306,7 @@ func runScaleGrid(gs scaleGridSpec) (ScaleGridBench, error) {
 		}
 		spec.Profile = profile
 		spec.WarmStart = true
+		spec.DrainHorizon = steadyDrainHorizon
 	}
 	var capacity uint64
 	for c := range assign.Primary {
@@ -292,6 +346,7 @@ func runScaleGrid(gs scaleGridSpec) (ScaleGridBench, error) {
 		// occupancy samples are integer counts taken at deterministic
 		// barrier times, so MeanOccupancy is identical across combos.
 		var window, occSum, occN uint64
+		var runEnded time.Time
 		kern := p.Kernel()
 		kern.SetBarrier(func() {
 			if window++; window%8 == 0 {
@@ -310,6 +365,9 @@ func runScaleGrid(gs scaleGridSpec) (ScaleGridBench, error) {
 			if now >= spec.Warmup && now <= spec.Duration {
 				occSum += p.ActiveCalls()
 				occN++
+			}
+			if runEnded.IsZero() && now >= spec.Duration {
+				runEnded = time.Now()
 			}
 		})
 		runtime.GC()
@@ -339,6 +397,10 @@ func runScaleGrid(gs scaleGridSpec) (ScaleGridBench, error) {
 		}
 		if gs.steady {
 			run.SetupSeconds = setup.Seconds()
+			if !runEnded.IsZero() {
+				run.RunSeconds = runEnded.Sub(t0).Seconds()
+				run.DrainSeconds = wall.Seconds() - run.RunSeconds
+			}
 		}
 		if occN > 0 && capacity > 0 {
 			run.MeanOccupancy = float64(occSum) / float64(occN) / float64(capacity)
@@ -351,6 +413,12 @@ func runScaleGrid(gs scaleGridSpec) (ScaleGridBench, error) {
 			gb.Hash = run.Hash
 			gb.MeanOccupancy = run.MeanOccupancy
 			gb.BorrowAttempts = run.BorrowAttempts
+			if gs.steady {
+				gb.MeasuredHash = measuredHash(ts, run.MeanOccupancy)
+				if spec.DrainHorizon > 0 {
+					gb.DrainMode = "truncated"
+				}
+			}
 			if wall > 0 {
 				gb.BorrowAttemptsPerSec = float64(run.BorrowAttempts) / wall.Seconds()
 				if gs.steady {

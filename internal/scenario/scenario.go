@@ -114,17 +114,21 @@ type Diurnal struct {
 
 // Workload is the JSON workload block.
 type Workload struct {
-	ErlangPerCell float64  `json:"erlang_per_cell"`
-	MeanHoldTicks float64  `json:"mean_hold_ticks"`
-	HandoffRate   float64  `json:"handoff_rate"`
-	DurationTicks int64    `json:"duration_ticks"`
-	WarmupTicks   int64    `json:"warmup_ticks"`
+	ErlangPerCell float64 `json:"erlang_per_cell"`
+	MeanHoldTicks float64 `json:"mean_hold_ticks"`
+	HandoffRate   float64 `json:"handoff_rate"`
+	DurationTicks int64   `json:"duration_ticks"`
+	WarmupTicks   int64   `json:"warmup_ticks"`
 	// WarmStart seeds every cell's stationary Erlang occupancy before
 	// tick 0 instead of simulating the ramp-up transient.
-	WarmStart bool     `json:"warm_start"`
-	Hotspot   *Hotspot `json:"hotspot"`
-	Phases    []Phase  `json:"phases"`
-	Diurnal   *Diurnal `json:"diurnal"`
+	WarmStart bool `json:"warm_start"`
+	// DrainHorizonTicks, when > 0, truncates the post-duration drain at
+	// duration + horizon: pending events are discarded, held calls
+	// force-released in canonical order. 0 drains to quiescence.
+	DrainHorizonTicks int64    `json:"drain_horizon"`
+	Hotspot           *Hotspot `json:"hotspot"`
+	Phases            []Phase  `json:"phases"`
+	Diurnal           *Diurnal `json:"diurnal"`
 }
 
 // Scenario is the top-level JSON document.
@@ -188,6 +192,9 @@ func (sc Scenario) Validate() error {
 		}
 		if w.WarmupTicks > 0 && w.DurationTicks > 0 && w.WarmupTicks >= w.DurationTicks {
 			return fmt.Errorf("warmup (%d) must end before duration (%d)", w.WarmupTicks, w.DurationTicks)
+		}
+		if w.DrainHorizonTicks < 0 {
+			return fmt.Errorf("workload drain_horizon must be >= 0 (0 drains to quiescence), got %d", w.DrainHorizonTicks)
 		}
 		if h := w.Hotspot; h != nil && (h.Erlang < 0 || h.Radius < 0) {
 			return fmt.Errorf("hotspot must be >= 0: %+v", *h)

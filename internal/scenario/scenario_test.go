@@ -245,3 +245,13 @@ func TestCheckedInScenariosLoad(t *testing.T) {
 		t.Error("no checked-in scenario exercises the predictor/lender blocks")
 	}
 }
+
+func TestValidateRejectsNegativeDrainHorizon(t *testing.T) {
+	_, err := Load(write(t, `{"workload": {"drain_horizon": -1}}`))
+	if err == nil || !strings.Contains(err.Error(), "drain_horizon") {
+		t.Fatalf("want descriptive drain_horizon error, got %v", err)
+	}
+	if _, err := Load(write(t, `{"workload": {"duration_ticks": 1000, "drain_horizon": 200}}`)); err != nil {
+		t.Fatalf("positive drain_horizon should load, got %v", err)
+	}
+}

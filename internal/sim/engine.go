@@ -298,3 +298,38 @@ func (e *Engine) Drain(maxEvents uint64) bool {
 	}
 	return len(e.events) == 0
 }
+
+// DrainUntil executes every event at or before cutoff, leaving later
+// events queued with the heap untouched, so the caller can decide to
+// discard them (truncate-at-horizon drain) or keep running. The clock
+// ends at cutoff when behind. maxEvents is a runaway-loop backstop
+// checked per event; DrainUntil reports whether every event due at or
+// before cutoff actually ran (false only when the backstop tripped).
+func (e *Engine) DrainUntil(cutoff Time, maxEvents uint64) bool {
+	start := e.executed
+	for len(e.events) > 0 && e.events[0].at <= cutoff {
+		if e.executed-start >= maxEvents {
+			return false
+		}
+		ev := e.pop()
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+	}
+	if e.now < cutoff {
+		e.now = cutoff
+	}
+	return true
+}
+
+// DiscardPending drops every queued event without executing it and
+// returns how many were dropped. Entries are zeroed so captured
+// closures become collectable. The clock is unchanged.
+func (e *Engine) DiscardPending() int {
+	n := len(e.events)
+	for i := range e.events {
+		e.events[i] = event{}
+	}
+	e.events = e.events[:0]
+	return n
+}

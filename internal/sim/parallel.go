@@ -601,3 +601,59 @@ func (k *Shards) run(workers int, until Time, maxEvents uint64) uint64 {
 	}
 	return k.Executed() - start
 }
+
+// DrainUntil advances windows until every remaining event is later than
+// cutoff, executing events exactly as Run(workers, cutoff) would —
+// window boundaries and barrier calls before the cutoff are identical
+// to a full Drain's, so pre-cutoff trajectories (and anything sampled
+// at barriers) are unperturbed. Post-cutoff events stay queued in their
+// heaps and mailboxes for DiscardPending. maxEvents is a runaway-loop
+// backstop checked at window granularity; DrainUntil reports whether
+// every event due at or before cutoff actually ran (false only when
+// the backstop tripped mid-drain).
+func (k *Shards) DrainUntil(workers int, cutoff Time, maxEvents uint64) bool {
+	k.run(workers, cutoff, maxEvents)
+	// At normal loop exit the mailboxes have all been flushed (flush
+	// precedes the minDue break) and the earliest heap entry is past
+	// cutoff. Only the maxEvents path can leave due work behind, so
+	// verify directly: heap tops, plus unflushed boxes on that path.
+	for i := range k.shards {
+		sh := &k.shards[i]
+		if len(sh.events) > 0 && sh.events[0].at <= cutoff {
+			return false
+		}
+		for j := range sh.routes {
+			for _, ev := range sh.routes[j].box {
+				if ev.at <= cutoff {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// DiscardPending drops every queued event — shard heaps and cross-shard
+// mailboxes — without executing it and returns how many were dropped.
+// Entries are zeroed so captured closures become collectable. Shard
+// clocks are unchanged. Coordinator-context only (not during a window).
+func (k *Shards) DiscardPending() int {
+	n := 0
+	for i := range k.shards {
+		sh := &k.shards[i]
+		n += len(sh.events)
+		for j := range sh.events {
+			sh.events[j] = pevent{}
+		}
+		sh.events = sh.events[:0]
+		for j := range sh.routes {
+			r := &sh.routes[j]
+			n += len(r.box)
+			for x := range r.box {
+				r.box[x] = pevent{}
+			}
+			r.box = r.box[:0]
+		}
+	}
+	return n
+}

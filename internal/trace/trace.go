@@ -82,6 +82,14 @@ func (w *Watchdog) Completed(now sim.Time) {
 	w.lastProgress = now
 }
 
+// Cancelled records a request withdrawn without completing — a
+// truncate-at-horizon drain cancelling calls still in flight at the
+// cutoff. Unlike Completed it counts no completion and marks no
+// progress, so completion tallies only ever reflect real outcomes.
+func (w *Watchdog) Cancelled() {
+	w.outstanding--
+}
+
 // Outstanding returns the number of in-flight requests.
 func (w *Watchdog) Outstanding() int { return w.outstanding }
 

@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/chanset"
 	"repro/internal/driver"
@@ -107,11 +108,31 @@ func PrimeParallel(p *driver.Parallel, spec Spec) (*PrimedParallel, error) {
 func (r *PrimedParallel) Finish() (Stats, error) {
 	p, g := r.p, r.g
 	st := g.stats
-	if !p.Drain(2_000_000_000) {
-		return *st, fmt.Errorf("traffic: simulation did not quiesce")
-	}
-	if p.Outstanding() != 0 {
-		return *st, fmt.Errorf("traffic: %d requests still outstanding after drain", p.Outstanding())
+	if g.spec.DrainHorizon > 0 {
+		// Truncated drain: run to the cutoff (window boundaries and
+		// barrier samples before it are exactly the full drain's), then
+		// force the rest quiescent with the same canonical sweep the
+		// serial driver performs, so the truncated trajectory stays
+		// bit-identical across worker and shard counts and vs Run.
+		cutoff := g.spec.Duration + g.spec.DrainHorizon
+		if !p.DrainUntil(cutoff, 2_000_000_000) {
+			return *st, fmt.Errorf("traffic: truncated drain hit its event backstop before cutoff %d: %d events pending, %d requests outstanding (per shard: %s), sim time %d",
+				cutoff, p.Kernel().Pending(), p.Outstanding(), shardOutstandingSummary(p.ShardOutstanding()), p.Kernel().Now(0))
+		}
+		p.ForceQuiesce()
+		if p.Outstanding() != 0 {
+			return *st, fmt.Errorf("traffic: %d requests still outstanding after forced quiesce (per shard: %s), sim time %d",
+				p.Outstanding(), shardOutstandingSummary(p.ShardOutstanding()), p.Kernel().Now(0))
+		}
+	} else {
+		if !p.Drain(2_000_000_000) {
+			return *st, fmt.Errorf("traffic: simulation did not quiesce: %d events pending, %d requests outstanding (per shard: %s), sim time %d",
+				p.Kernel().Pending(), p.Outstanding(), shardOutstandingSummary(p.ShardOutstanding()), p.Kernel().Now(0))
+		}
+		if p.Outstanding() != 0 {
+			return *st, fmt.Errorf("traffic: %d requests still outstanding after drain (per shard: %s), sim time %d (no events pending)",
+				p.Outstanding(), shardOutstandingSummary(p.ShardOutstanding()), p.Kernel().Now(0))
+		}
 	}
 	for i := range g.tallies {
 		t := &g.tallies[i]
@@ -121,6 +142,35 @@ func (r *PrimedParallel) Finish() (Stats, error) {
 		st.HandoffDrops += t.hoDrops
 	}
 	return *st, nil
+}
+
+// shardOutstandingSummary renders per-shard outstanding-request counts
+// for drain diagnostics: only shards with in-flight requests, capped so
+// a giant-grid shard count cannot flood the error message.
+func shardOutstandingSummary(per []int) string {
+	const cap = 8
+	var b strings.Builder
+	listed, nonzero := 0, 0
+	for si, n := range per {
+		if n == 0 {
+			continue
+		}
+		nonzero++
+		if listed < cap {
+			if listed > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "shard%d:%d", si, n)
+			listed++
+		}
+	}
+	if nonzero == 0 {
+		return "none"
+	}
+	if nonzero > listed {
+		fmt.Fprintf(&b, " +%d more shards", nonzero-listed)
+	}
+	return b.String()
 }
 
 // ptally is one shard's scalar counters, merged in shard order at the
@@ -205,7 +255,7 @@ func (g *pgenerator) newCall(cell hexgrid.CellID, rng *sim.Rand) {
 	remaining := rng.ExpTicks(g.spec.MeanHold)
 	g.p.Request(cell, func(r driver.Result) {
 		if !r.Granted {
-			if measured {
+			if measured && g.spec.countsDenial(g.p.Now(cell)) {
 				g.tally(cell).blocked++
 				g.stats.PerCellBlocked[cell]++
 			}
@@ -242,14 +292,14 @@ func (g *pgenerator) continueCall(cell hexgrid.CellID, ch chanset.Channel, remai
 // latency after the target's decision. Drops are counted in the target
 // cell's shard at decision time.
 func (g *pgenerator) depart(cell hexgrid.CellID, ch chanset.Channel, next hexgrid.CellID, left sim.Time) {
-	if g.p.Now(cell) >= g.spec.Warmup {
+	if g.spec.countsHandoff(g.p.Now(cell)) {
 		g.tally(cell).hoAttempts++
 	}
 	g.p.Relay(cell, next, func() {
 		g.p.Request(next, func(r driver.Result) {
 			g.p.Relay(next, cell, func() { g.p.Release(cell, ch) })
 			if !r.Granted {
-				if g.p.Now(next) >= g.spec.Warmup {
+				if g.spec.countsHandoff(g.p.Now(next)) {
 					g.tally(next).hoDrops++
 				}
 				return

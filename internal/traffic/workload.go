@@ -38,6 +38,21 @@ type Spec struct {
 	// schedule a pure per-cell function of (spec, seed) — bit-identical
 	// between Run and RunParallel at any shard or worker count.
 	WarmStart bool
+	// DrainHorizon bounds the post-Duration drain. 0 (the default)
+	// drains to natural quiescence: every held call runs to its
+	// exponential completion, a span of ~tens of MeanHolds. When > 0
+	// the run instead stops at the event-time cutoff
+	// Duration + DrainHorizon: later events are discarded, still-held
+	// calls are force-released in canonical (cell, request) order and
+	// in-flight requests cancelled, so every statistic over the
+	// Warmup..Duration measurement window is bit-identical to the
+	// full-drain run while the wall-clock cost of the tail disappears.
+	// Handoff and blocking tallies close at Duration in this mode (see
+	// countsHandoff/countsDenial). Pick a horizon of at least a few protocol
+	// round-trips (say 20 × latency) so every request submitted inside
+	// the window resolves before the cutoff; negative values are
+	// rejected.
+	DrainHorizon sim.Time
 }
 
 // validate checks the spec fields shared by Run and RunParallel.
@@ -54,7 +69,37 @@ func (s Spec) validate() error {
 	if s.Warmup >= s.Duration {
 		return fmt.Errorf("traffic: Warmup (%d) must end before Duration (%d) — no arrival would ever be measured", s.Warmup, s.Duration)
 	}
+	if s.DrainHorizon < 0 {
+		return fmt.Errorf("traffic: DrainHorizon must be >= 0 (0 drains to natural quiescence), got %d", s.DrainHorizon)
+	}
 	return nil
+}
+
+// countsHandoff reports whether a handoff event at time now lands in
+// the tally window. With a full drain (DrainHorizon == 0) the window is
+// open-ended past Warmup — the legacy behavior every recorded
+// trajectory depends on, where post-Duration crossings of draining
+// calls still count. A truncated drain closes the window at Duration:
+// post-Duration crossings depend on how far the drain happens to run,
+// so bounding the window is what makes the tallies a pure function of
+// the Warmup..Duration measurement window, identical for every horizon
+// large enough to resolve the in-window requests.
+func (s Spec) countsHandoff(now sim.Time) bool {
+	if now < s.Warmup {
+		return false
+	}
+	return s.DrainHorizon == 0 || now <= s.Duration
+}
+
+// countsDenial reports whether a denial at time now counts against a
+// measured request (one submitted after Warmup). A full drain counts
+// every such denial, whenever the station's deferred-request machinery
+// resolves it — the legacy behavior. A truncated drain counts only
+// denials inside the measurement window: a deferral's post-Duration
+// fate (denied under one horizon, cancelled under another) must not
+// leak into the tallies, or Blocked would depend on the horizon.
+func (s Spec) countsDenial(now sim.Time) bool {
+	return s.DrainHorizon == 0 || now <= s.Duration
 }
 
 // Substream labels. Every stream the workload consumes is per cell, so
@@ -151,13 +196,31 @@ func Run(s *driver.Sim, spec Spec) (Stats, error) {
 		}
 		g.scheduleArrival(cell, rng)
 	}
+	if spec.DrainHorizon > 0 {
+		// Truncated drain: execute everything up to the cutoff, then
+		// force the rest of the system quiescent. The forced sweep is
+		// canonical (ascending cell, then ascending request id), so the
+		// truncated trajectory is as deterministic as the full one.
+		cutoff := spec.Duration + spec.DrainHorizon
+		if !s.DrainUntil(cutoff, 2_000_000_000) {
+			return st, fmt.Errorf("traffic: truncated drain hit its event backstop before cutoff %d: %d events pending, %d requests outstanding, sim time %d",
+				cutoff, s.Engine().Pending(), s.Outstanding(), s.Engine().Now())
+		}
+		s.ForceQuiesce()
+		if s.Outstanding() != 0 {
+			return st, fmt.Errorf("traffic: %d requests still outstanding after forced quiesce at sim time %d", s.Outstanding(), s.Engine().Now())
+		}
+		return st, nil
+	}
 	// Run until well past Duration so calls drain; the queue empties
 	// once no arrivals are scheduled and all calls released.
 	if !s.Drain(2_000_000_000) {
-		return st, fmt.Errorf("traffic: simulation did not quiesce")
+		return st, fmt.Errorf("traffic: simulation did not quiesce: %d events pending, %d requests outstanding, sim time %d",
+			s.Engine().Pending(), s.Outstanding(), s.Engine().Now())
 	}
 	if s.Outstanding() != 0 {
-		return st, fmt.Errorf("traffic: %d requests still outstanding after drain", s.Outstanding())
+		return st, fmt.Errorf("traffic: %d requests still outstanding after drain at sim time %d (no events pending)",
+			s.Outstanding(), s.Engine().Now())
 	}
 	return st, nil
 }
@@ -240,7 +303,7 @@ func (g *generator) newCall(cell hexgrid.CellID, rng *sim.Rand) {
 	remaining := rng.ExpTicks(g.spec.MeanHold)
 	g.sim.Request(cell, func(r driver.Result) {
 		if !r.Granted {
-			if measured {
+			if measured && g.spec.countsDenial(g.sim.Engine().Now()) {
 				g.stats.Blocked++
 				g.stats.PerCellBlocked[cell]++
 			}
@@ -283,7 +346,7 @@ func (g *generator) continueCall(cell hexgrid.CellID, ch chanset.Channel, remain
 // and Blocked treat warmup.
 func (g *generator) depart(cell hexgrid.CellID, ch chanset.Channel, next hexgrid.CellID, left sim.Time) {
 	e := g.sim.Engine()
-	if e.Now() >= g.spec.Warmup {
+	if g.spec.countsHandoff(e.Now()) {
 		g.stats.HandoffAttempts++
 	}
 	lat := g.sim.Latency()
@@ -291,7 +354,7 @@ func (g *generator) depart(cell hexgrid.CellID, ch chanset.Channel, next hexgrid
 		g.sim.Request(next, func(r driver.Result) {
 			e.AfterOrigin(lat, int32(next), func() { g.sim.Release(cell, ch) })
 			if !r.Granted {
-				if e.Now() >= g.spec.Warmup {
+				if g.spec.countsHandoff(e.Now()) {
 					g.stats.HandoffDrops++
 				}
 				return
